@@ -1,0 +1,309 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// One benchmark per experiment in EXPERIMENTS.md. Each iteration runs
+// the full experiment; the custom metrics expose the paper-relevant
+// quantities (movement reductions, crossovers, overheads) so that
+// `go test -bench=.` regenerates every figure-equivalent number.
+
+const benchRows = 50000
+
+func BenchmarkE1ConventionalPath(b *testing.B) {
+	var hop sim.Bytes
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1ConventionalPath(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hop = res.HopBytes["dram--llc"]
+	}
+	b.ReportMetric(float64(hop), "hopbytes")
+}
+
+func BenchmarkE2StoragePushdown(b *testing.B) {
+	var reduction1pct, reduction50pct float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2StoragePushdown(benchRows, []float64{0.01, 0.1, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction1pct = res.Rows[0].Reduction
+		reduction50pct = res.Rows[2].Reduction
+	}
+	b.ReportMetric(reduction1pct, "netreduction@1%")
+	b.ReportMetric(reduction50pct, "netreduction@50%")
+}
+
+func BenchmarkE3NICHashPipeline(b *testing.B) {
+	var relief float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3NICHashPipeline(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relief = float64(res.CPUBusyCPU) / float64(res.CPUBusyNIC)
+	}
+	b.ReportMetric(relief, "cpubusy-ratio")
+}
+
+func BenchmarkE4StagedPreAgg(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E4StagedPreAgg(benchRows, []int64{10, 1000, 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = float64(res.Rows[0].NetBytesNone) / float64(res.Rows[0].NetBytesFull)
+	}
+	b.ReportMetric(reduction, "netreduction@10groups")
+}
+
+func BenchmarkE5PartitionedJoin(b *testing.B) {
+	var relief float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5PartitionedJoin(5000, benchRows, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relief = float64(res.CPUCPUBy) / float64(res.NICCPUBy)
+	}
+	b.ReportMetric(relief, "cpubytes-ratio")
+}
+
+func BenchmarkE6NICCount(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6NICCount(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = float64(res.LegacyNet) / float64(res.SmartNet+1)
+	}
+	b.ReportMetric(reduction, "netreduction")
+}
+
+func BenchmarkE7NearMemoryFilter(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E7NearMemoryFilter(benchRows, []float64{0.01, 0.1, 0.5}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(res.Rows[0].CPUBytes) / float64(res.Rows[0].NearBytes)
+	}
+	b.ReportMetric(gain, "bytegain@1%")
+}
+
+func BenchmarkE8PointerChase(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E8PointerChase([]int{1000, 100000, 1000000}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		gap = float64(last.CPUTime) / float64(last.NearTime)
+	}
+	b.ReportMetric(gap, "remote-speedup")
+}
+
+func BenchmarkE9CXLCoherency(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E9CXLCoherency(20000, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cxl := res.Rows[3] // the CXL row
+		speedup = float64(cxl.SWTime) / float64(cxl.HWTime)
+	}
+	b.ReportMetric(speedup, "hwcoherency-speedup")
+}
+
+func BenchmarkE10FullPipeline(b *testing.B) {
+	var moveReduction, timeSpeedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10FullPipeline(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moveReduction = float64(res.Volcano.MovedBytes) / float64(res.DataFlow.MovedBytes)
+		timeSpeedup = float64(res.Volcano.SimTime) / float64(res.DataFlow.SimTime)
+	}
+	b.ReportMetric(moveReduction, "movereduction")
+	b.ReportMetric(timeSpeedup, "speedup")
+}
+
+func BenchmarkE11CreditFlow(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11CreditFlow(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = res.Rows[len(res.Rows)-1].Overhead
+	}
+	b.ReportMetric(overhead, "credit/data@depth32")
+}
+
+func BenchmarkE12Interference(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E12Interference(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = float64(res.NaiveTime) / float64(res.ScheduledTime)
+	}
+	b.ReportMetric(improvement, "makespan-improvement")
+}
+
+func BenchmarkE13NoBufferPool(b *testing.B) {
+	var memRatio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E13NoBufferPool([]int{benchRows / 4, benchRows}, 2*sim.MB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		memRatio = float64(last.VolcanoMem) / float64(last.DataflowMem)
+	}
+	b.ReportMetric(memRatio, "memreduction")
+}
+
+func BenchmarkE14NoDataCache(b *testing.B) {
+	var coldAdvantage float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E14NoDataCache(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldAdvantage = float64(res.ColdVolcano) / float64(res.DataFlow)
+	}
+	b.ReportMetric(coldAdvantage, "coldpath-speedup")
+}
+
+func BenchmarkE15KernelSetup(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E15KernelSetup([]sim.Bytes{64 * sim.KB, sim.MB, 64 * sim.MB, sim.GB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = res.Rows[len(res.Rows)-1].SetupShare
+	}
+	b.ReportMetric(share, "setupshare@1GiB")
+}
+
+func BenchmarkE16CacheStalls(b *testing.B) {
+	var stall, hierGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E16CacheStalls()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stall = res.Rows[len(res.Rows)-1].RndStall
+		hierGain = float64(res.CPUHierTime) / float64(res.NearHierTime)
+	}
+	b.ReportMetric(stall, "stallshare@1GiB")
+	b.ReportMetric(hierGain, "hierarchy-gain@5%")
+}
+
+func BenchmarkE17DisaggregatedMemory(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E17DisaggregatedMemory(benchRows, []float64{0.01, 0.1, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(res.Rows[0].PullBytes) / float64(res.Rows[0].OffloadBytes)
+	}
+	b.ReportMetric(gain, "netgain@1%")
+}
+
+func BenchmarkE18HTAPTranspose(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E18HTAPTranspose([]int{benchRows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(res.Rows[0].CPUTime) / float64(res.Rows[0].NearTime)
+	}
+	b.ReportMetric(gain, "transpose-speedup")
+}
+
+func BenchmarkA1WireCompression(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A1WireCompression(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, row := range res.Rows {
+			if !row.Wins {
+				crossover = float64(j)
+				break
+			}
+		}
+	}
+	b.ReportMetric(crossover, "crossover-tier-index")
+}
+
+func BenchmarkA2NICTierSweep(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A2NICTierSweep(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(res.Rows[0].Makespan) / float64(res.Rows[len(res.Rows)-1].Makespan)
+	}
+	b.ReportMetric(speedup, "100G-to-1.6T-speedup")
+}
+
+func BenchmarkA3SegmentSize(b *testing.B) {
+	var pruneGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A3SegmentSize(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fine := res.Rows[0]
+		coarse := res.Rows[len(res.Rows)-1]
+		scannedFine := float64(fine.Total-fine.Pruned) * float64(fine.SegmentRows)
+		scannedCoarse := float64(coarse.Total-coarse.Pruned) * float64(coarse.SegmentRows)
+		pruneGain = scannedCoarse / scannedFine
+	}
+	b.ReportMetric(pruneGain, "prune-gain")
+}
+
+func BenchmarkA4StateBudget(b *testing.B) {
+	var spillFactor float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A4StateBudget(benchRows, int64(benchRows)/3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spillFactor = float64(res.Rows[0].ShippedRows) / float64(res.Rows[len(res.Rows)-1].ShippedRows)
+	}
+	b.ReportMetric(spillFactor, "spill-factor@64")
+}
+
+func BenchmarkA5ScaleOut(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A5ScaleOut(benchRows, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = float64(res.Rows[0].MaxCPUBusy) / float64(res.Rows[len(res.Rows)-1].MaxCPUBusy)
+	}
+	b.ReportMetric(reduction, "percpu-reduction@4n")
+}

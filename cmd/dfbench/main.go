@@ -1,0 +1,244 @@
+// Command dfbench regenerates every experiment table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dfbench [-rows N] [-only E2,E7] [-list]
+//
+// Each experiment reproduces the scenario of one figure or Section-7
+// claim of "Data Flow Architectures for Data Processing on Modern
+// Hardware" (Lerner & Alonso, ICDE 2024) and prints the rows the paper's
+// argument predicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(rows int) (*experiments.Table, error)
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"E1", "conventional data path (Figure 1)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E1ConventionalPath(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E2", "storage pushdown (Figure 2)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E2StoragePushdown(rows, []float64{0.001, 0.01, 0.1, 0.5, 1.0})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E3", "NIC hashing pipeline (Figure 3)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E3NICHashPipeline(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E4", "staged pre-aggregation (Section 4.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E4StagedPreAgg(rows, []int64{10, 100, 10000, 1000000})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E5", "NIC-scattered partitioned join (Figure 4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E5PartitionedJoin(rows/10+1, rows, 4)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E6", "COUNT on the data path (Section 4.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E6NICCount(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E7", "near-memory filtering (Figure 5)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E7NearMemoryFilter(rows, []float64{0.001, 0.01, 0.1, 0.5, 1.0}, false)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E7c", "near-memory filtering, compressed-resident (Section 5.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E7NearMemoryFilter(rows, []float64{0.01, 0.1, 0.5}, true)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E8", "pointer chasing, local memory (Section 5.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E8PointerChase([]int{1000, 100000, 1000000}, false)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E8r", "pointer chasing, disaggregated memory (Section 5.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E8PointerChase([]int{1000, 100000, 1000000}, true)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E9", "coherency protocols across interconnects (Section 6)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E9CXLCoherency(rows, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E10", "full data-path pipeline (Figure 6)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E10FullPipeline(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E11", "credit-based flow control (Section 7.1)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E11CreditFlow(rows / 10)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E12", "interference-aware scheduling (Section 7.3)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E12Interference(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E13", "no more buffer pools (Section 7.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E13NoBufferPool([]int{rows / 4, rows / 2, rows}, 2*sim.MB)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E14", "no more data caches (Section 7.5)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E14NoDataCache(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E15", "kernel installation overhead (Section 7.2)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E15KernelSetup([]sim.Bytes{64 * sim.KB, sim.MB, 64 * sim.MB, sim.GB})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E16", "cache and TLB stalls (Section 5.1)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E16CacheStalls()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E17", "disaggregated memory with operator offloading (Section 5.3)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E17DisaggregatedMemory(rows, []float64{0.001, 0.01, 0.1, 0.5, 1.0})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E18", "HTAP format transposition (Section 5.4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E18HTAPTranspose([]int{rows / 4, rows, rows * 4})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.A1WireCompression(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"A2", "ablation: NIC generation sweep", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.A2NICTierSweep(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"A3", "ablation: zone-map pruning vs segment size", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.A3SegmentSize(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"A4", "ablation: pre-aggregation state budget", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.A4StateBudget(rows, int64(rows)/3)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"A5", "ablation: distributed group-by scale-out", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.A5ScaleOut(rows, []int{1, 2, 4, 8})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+	}
+}
+
+func main() {
+	rows := flag.Int("rows", 50000, "workload size (rows)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := false
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t, err := e.run(*rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(t.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command dfshell is an interactive SQL shell over the data-flow engine:
+// it loads the generated lineitem/orders tables into a Figure 6 cluster
+// and executes SELECT statements from stdin, printing results, the
+// chosen placement, and the movement stats after each query.
+//
+//	go run ./cmd/dfshell [-rows N]
+//
+// Meta commands: \tables, \explain <sql>, \stats <table>, \topo, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 50000, "lineitem rows to generate")
+	flag.Parse()
+
+	cluster := fabric.NewCluster(fabric.DefaultClusterConfig())
+	eng := core.NewDataFlowEngine(cluster)
+	lcfg := workload.DefaultLineitemConfig(*rows)
+	lcfg.Orders = int64(*rows / 4)
+	must(eng.CreateTable("lineitem", workload.LineitemSchema()))
+	must(eng.Load("lineitem", workload.GenLineitem(lcfg)))
+	must(eng.CreateTable("orders", workload.OrdersSchema()))
+	must(eng.Load("orders", workload.GenOrders(*rows/4, 7)))
+
+	fmt.Printf("dfshell — data-flow engine over %s\n", cluster.Name)
+	fmt.Printf("tables: lineitem (%d rows), orders (%d rows)\n", *rows, *rows/4)
+	fmt.Println(`type SQL, or \tables \explain <sql> \stats <table> \topo \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("df> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, name := range eng.Storage.Tables() {
+				schema, err := eng.TableSchema(name)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("  %s %s\n", name, schema)
+			}
+		case line == `\topo`:
+			fmt.Print(cluster.String())
+		case strings.HasPrefix(line, `\stats `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\stats `))
+			st, err := eng.Stats(name)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  rows=%d bytes=%s\n", st.Rows, st.TotalBytes())
+		case strings.HasPrefix(line, `\explain `):
+			sql := strings.TrimPrefix(line, `\explain `)
+			q, err := sqlparse.Parse(sql, eng)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			variants, err := eng.Plan(q, 0)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, v := range variants {
+				fmt.Print(v.Explain())
+			}
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("unknown meta command:", line)
+		default:
+			q, err := sqlparse.Parse(line, eng)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			res, err := eng.Execute(q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.Format(20))
+			fmt.Printf("-- %d rows via %q: moved %s, cpu %s, simtime %s\n",
+				res.Rows(), res.Stats.Variant, res.Stats.MovedBytes,
+				res.Stats.CPUBytes, res.Stats.SimTime)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command dftopo prints the preset fabric topologies, their device
+// capability tables and calibrated rates — the hardware model every
+// experiment runs on.
+//
+// Usage:
+//
+//	dftopo [-topology smart|legacy|conventional] [-nodes N] [-nic 100|200|400|800|1600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/fabric"
+	"repro/internal/plan"
+)
+
+func nicTier(gbps int) (fabric.LinkKind, error) {
+	switch gbps {
+	case 100:
+		return fabric.LinkEth100, nil
+	case 200:
+		return fabric.LinkEth200, nil
+	case 400:
+		return fabric.LinkEth400, nil
+	case 800:
+		return fabric.LinkEth800, nil
+	case 1600:
+		return fabric.LinkEth1600, nil
+	}
+	return 0, fmt.Errorf("unknown NIC tier %d (want 100|200|400|800|1600)", gbps)
+}
+
+func main() {
+	kind := flag.String("topology", "smart", "smart, legacy or conventional")
+	nodes := flag.Int("nodes", 2, "compute nodes (cluster topologies)")
+	nic := flag.Int("nic", 400, "NIC tier in Gb/s")
+	flag.Parse()
+
+	switch *kind {
+	case "conventional":
+		fmt.Print(fabric.NewConventionalServer().String())
+		return
+	case "smart", "legacy":
+	default:
+		log.Fatalf("unknown topology %q", *kind)
+	}
+
+	cfg := fabric.DefaultClusterConfig()
+	if *kind == "legacy" {
+		cfg = fabric.LegacyClusterConfig()
+	}
+	cfg.ComputeNodes = *nodes
+	tier, err := nicTier(*nic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.NICTier = tier
+	c := fabric.NewCluster(cfg)
+	fmt.Print(c.String())
+
+	fmt.Println("\ndevice capabilities (streaming rate per op):")
+	for _, d := range c.Devices() {
+		ops := d.CapabilityList()
+		if len(ops) == 0 {
+			fmt.Printf("  %-16s (passive)\n", d.Name)
+			continue
+		}
+		fmt.Printf("  %-16s", d.Name)
+		for _, op := range ops {
+			fmt.Printf(" %s=%s", op, d.RateFor(op))
+		}
+		fmt.Println()
+	}
+
+	pm, err := plan.FromCluster(c, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner data path (node 0): %s\n", pm)
+	for i := 0; i < len(pm.Sites)-1; i++ {
+		fmt.Printf("  segment %d: bandwidth %s, latency %s\n",
+			i, pm.SegmentBandwidth(i), pm.SegmentLatency(i))
+	}
+}

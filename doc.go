@@ -1,0 +1,15 @@
+// Package repro is a from-scratch reproduction of "Data Flow
+// Architectures for Data Processing on Modern Hardware" (Lerner &
+// Alonso, ICDE 2024): a data-flow query engine whose operators are
+// placed along a simulated heterogeneous data path — smart storage,
+// smart NICs, near-memory accelerators, CXL interconnects — next to the
+// CPU-centric Volcano baseline the paper argues against.
+//
+// The library lives under internal/ (see DESIGN.md for the full system
+// inventory); the root package hosts the benchmark harness that
+// regenerates every experiment in EXPERIMENTS.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/dfbench for the human-readable tables.
+package repro

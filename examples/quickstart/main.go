@@ -1,0 +1,68 @@
+// Quickstart: build a disaggregated cluster, load a table, run one query
+// on both engines, and compare where the work and the bytes went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Generate a TPC-H-flavoured lineitem table.
+	cfg := workload.DefaultLineitemConfig(50000)
+	data := workload.GenLineitem(cfg)
+
+	// 2. The data-flow engine on the full Figure 6 fabric: smart
+	// storage, smart NICs, near-memory accelerator, CXL host bus.
+	df := core.NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
+	must(df.CreateTable("lineitem", workload.LineitemSchema()))
+	must(df.Load("lineitem", data))
+
+	// 3. The CPU-centric baseline: same data, dumb fabric, buffer pool.
+	vo := core.NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), 512*sim.MB)
+	must(vo.CreateTable("lineitem", workload.LineitemSchema()))
+	must(vo.Load("lineitem", data))
+
+	// 4. A filtered pricing summary (TPC-H Q1 shaped).
+	q := plan.NewQuery("lineitem").
+		WithFilter(workload.SelectivityFilter(cfg, 0.1)).
+		WithGroupBy(workload.PricingSummary())
+	fmt.Printf("query: %s\n\n", q)
+
+	// 5. Show the optimizer's placement decision.
+	variants, err := df.Plan(q, 0)
+	must(err)
+	fmt.Println(variants[0].Explain())
+
+	// 6. Execute on both engines: identical answers, very different
+	// data movement.
+	dfRes, err := df.Execute(q)
+	must(err)
+	voRes, err := vo.Execute(q)
+	must(err)
+
+	fmt.Println("result (dataflow):")
+	fmt.Print(dfRes.Format(10))
+	fmt.Println()
+	fmt.Print(dfRes.Stats.String())
+	fmt.Println()
+	fmt.Print(voRes.Stats.String())
+
+	fmt.Printf("\nmovement reduction: %.1fx, CPU-bytes reduction: %.1fx\n",
+		float64(voRes.Stats.MovedBytes)/float64(dfRes.Stats.MovedBytes),
+		float64(voRes.Stats.CPUBytes)/float64(dfRes.Stats.CPUBytes))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

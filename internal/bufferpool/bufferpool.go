@@ -1,0 +1,193 @@
+// Package bufferpool implements the main-memory page cache at the heart
+// of conventional engines — the component the paper's Section 7.4 ("No
+// More Buffer Pools") argues data-flow architectures can drop. It exists
+// here as the substrate of the CPU-centric baseline: experiments compare
+// its memory footprint and thrash behaviour against the stateless
+// data-flow pipeline.
+//
+// Pages are variable-sized (a page holds one encoded table segment) and
+// replaced with the clock (second-chance) algorithm.
+package bufferpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ErrPoolFull is returned when a page cannot be admitted because every
+// resident page is pinned.
+var ErrPoolFull = errors.New("bufferpool: all pages pinned, cannot evict")
+
+// PageID identifies one page (by convention, the object-store key of the
+// segment it caches).
+type PageID string
+
+// FetchFunc loads a page's bytes from backing storage on a miss. The
+// function is expected to charge the fabric for the I/O it models.
+type FetchFunc func(id PageID) ([]byte, error)
+
+// Page is one resident page.
+type Page struct {
+	ID   PageID
+	Data []byte
+
+	pins int
+	ref  bool // clock reference bit
+}
+
+// Size reports the page's footprint.
+func (p *Page) Size() sim.Bytes { return sim.Bytes(len(p.Data)) }
+
+// Stats summarizes pool activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Resident  sim.Bytes
+	Capacity  sim.Bytes
+}
+
+// HitRate reports hits / (hits+misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is a pinned-page buffer pool with clock replacement.
+type Pool struct {
+	mu       sync.Mutex
+	capacity sim.Bytes
+	used     sim.Bytes
+	pages    map[PageID]*Page
+	clock    []*Page
+	hand     int
+	fetch    FetchFunc
+
+	hits, misses, evictions int64
+}
+
+// New builds a pool with the given byte capacity and backing fetcher.
+func New(capacity sim.Bytes, fetch FetchFunc) *Pool {
+	if capacity <= 0 {
+		panic("bufferpool: non-positive capacity")
+	}
+	if fetch == nil {
+		panic("bufferpool: nil fetch function")
+	}
+	return &Pool{capacity: capacity, pages: make(map[PageID]*Page), fetch: fetch}
+}
+
+// Get returns the page, fetching and admitting it on a miss, and pins
+// it. Callers must Unpin when done. A page larger than the entire pool
+// is rejected.
+func (p *Pool) Get(id PageID) (*Page, error) {
+	p.mu.Lock()
+	if pg, ok := p.pages[id]; ok {
+		pg.pins++
+		pg.ref = true
+		p.hits++
+		p.mu.Unlock()
+		return pg, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	// Fetch outside the lock; concurrent misses on the same page may
+	// both fetch, and the second admit wins the check below.
+	data, err := p.fetch(id)
+	if err != nil {
+		return nil, fmt.Errorf("bufferpool: fetch %s: %w", id, err)
+	}
+	need := sim.Bytes(len(data))
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg, ok := p.pages[id]; ok { // raced with another fetcher
+		pg.pins++
+		pg.ref = true
+		return pg, nil
+	}
+	if need > p.capacity {
+		return nil, fmt.Errorf("bufferpool: page %s (%v) exceeds pool capacity %v", id, need, p.capacity)
+	}
+	if err := p.evictFor(need); err != nil {
+		return nil, err
+	}
+	pg := &Page{ID: id, Data: data, pins: 1, ref: true}
+	p.pages[id] = pg
+	p.clock = append(p.clock, pg)
+	p.used += need
+	return pg, nil
+}
+
+// evictFor frees space until need fits; callers hold the lock.
+func (p *Pool) evictFor(need sim.Bytes) error {
+	// Two full sweeps: the first clears reference bits, the second
+	// evicts. Stop early once there is room.
+	for sweep := 0; p.used+need > p.capacity; sweep++ {
+		if len(p.clock) == 0 || sweep > 2*len(p.clock) {
+			return ErrPoolFull
+		}
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		pg := p.clock[p.hand]
+		if pg.pins > 0 {
+			p.hand++
+			continue
+		}
+		if pg.ref {
+			pg.ref = false
+			p.hand++
+			continue
+		}
+		// Evict.
+		p.used -= pg.Size()
+		delete(p.pages, pg.ID)
+		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+		p.evictions++
+	}
+	return nil
+}
+
+// Unpin releases one pin on the page. Unpinning an absent or unpinned
+// page is a caller bug and panics.
+func (p *Pool) Unpin(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		panic(fmt.Sprintf("bufferpool: Unpin of non-resident page %s", id))
+	}
+	if pg.pins <= 0 {
+		panic(fmt.Sprintf("bufferpool: Unpin of unpinned page %s", id))
+	}
+	pg.pins--
+}
+
+// Contains reports whether the page is resident, without touching it.
+func (p *Pool) Contains(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.pages[id]
+	return ok
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Resident:  p.used,
+		Capacity:  p.capacity,
+	}
+}

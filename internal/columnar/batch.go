@@ -1,0 +1,167 @@
+package columnar
+
+import "fmt"
+
+// Batch is a horizontal slice of a table: one vector per schema column,
+// all the same length. Batches are the unit of flow through pipelines.
+type Batch struct {
+	schema *Schema
+	cols   []*Vector
+}
+
+// NewBatch returns an empty batch for the schema with per-column capacity
+// hint capacity.
+func NewBatch(schema *Schema, capacity int) *Batch {
+	cols := make([]*Vector, schema.NumFields())
+	for i, f := range schema.Fields {
+		cols[i] = NewVector(f.Type, capacity)
+	}
+	return &Batch{schema: schema, cols: cols}
+}
+
+// BatchOf assembles a batch from pre-built vectors. All vectors must have
+// the same length and match the schema's types.
+func BatchOf(schema *Schema, cols ...*Vector) *Batch {
+	if len(cols) != schema.NumFields() {
+		panic(fmt.Sprintf("columnar: BatchOf got %d vectors for %d fields", len(cols), schema.NumFields()))
+	}
+	n := -1
+	for i, c := range cols {
+		if c.Type() != schema.Fields[i].Type {
+			panic(fmt.Sprintf("columnar: column %d is %v, schema wants %v", i, c.Type(), schema.Fields[i].Type))
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			panic(fmt.Sprintf("columnar: column %d has %d rows, expected %d", i, c.Len(), n))
+		}
+	}
+	return &Batch{schema: schema, cols: cols}
+}
+
+// Schema returns the batch's schema.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// NumRows reports the number of rows.
+func (b *Batch) NumRows() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return b.cols[0].Len()
+}
+
+// NumCols reports the number of columns.
+func (b *Batch) NumCols() int { return len(b.cols) }
+
+// Col returns column i.
+func (b *Batch) Col(i int) *Vector { return b.cols[i] }
+
+// ColByName returns the column with the given name, or nil.
+func (b *Batch) ColByName(name string) *Vector {
+	idx := b.schema.FieldIndex(name)
+	if idx < 0 {
+		return nil
+	}
+	return b.cols[idx]
+}
+
+// AppendRow appends one row of dynamically typed values. The value types
+// must match the schema.
+func (b *Batch) AppendRow(vals ...Value) {
+	if len(vals) != len(b.cols) {
+		panic(fmt.Sprintf("columnar: AppendRow got %d values for %d columns", len(vals), len(b.cols)))
+	}
+	for i, v := range vals {
+		b.cols[i].AppendValue(v)
+	}
+}
+
+// Row materializes row i as a slice of dynamically typed values. This is
+// the row view used by result printing and the HTAP transposition path;
+// operators use column accessors instead.
+func (b *Batch) Row(i int) []Value {
+	out := make([]Value, len(b.cols))
+	for c, col := range b.cols {
+		out[c] = col.Value(i)
+	}
+	return out
+}
+
+// Project returns a batch containing only the columns at the given
+// indices. Column storage is shared, not copied.
+func (b *Batch) Project(indices []int) *Batch {
+	cols := make([]*Vector, len(indices))
+	for i, idx := range indices {
+		cols[i] = b.cols[idx]
+	}
+	return &Batch{schema: b.schema.Project(indices), cols: cols}
+}
+
+// Gather returns a batch with only the rows at the given indices.
+func (b *Batch) Gather(indices []int) *Batch {
+	cols := make([]*Vector, len(b.cols))
+	for i, c := range b.cols {
+		cols[i] = c.Gather(indices)
+	}
+	return &Batch{schema: b.schema, cols: cols}
+}
+
+// Filter returns a batch with only the rows whose bit is set in sel.
+func (b *Batch) Filter(sel *Bitmap) *Batch {
+	if sel.Len() != b.NumRows() {
+		panic("columnar: Filter selection length mismatch")
+	}
+	return b.Gather(sel.Indices(nil))
+}
+
+// Slice returns a view of rows [from, to).
+func (b *Batch) Slice(from, to int) *Batch {
+	cols := make([]*Vector, len(b.cols))
+	for i, c := range b.cols {
+		cols[i] = c.Slice(from, to)
+	}
+	return &Batch{schema: b.schema, cols: cols}
+}
+
+// ByteSize estimates the in-memory footprint of all column data in bytes.
+// This is the payload size the fabric charges when a batch crosses a link.
+func (b *Batch) ByteSize() int64 {
+	var n int64
+	for _, c := range b.cols {
+		n += c.ByteSize()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the batch (fresh vectors, copied values).
+func (b *Batch) Clone() *Batch {
+	out := NewBatch(b.schema, b.NumRows())
+	for i := 0; i < b.NumRows(); i++ {
+		for c := range b.cols {
+			out.cols[c].AppendValue(b.cols[c].Value(i))
+		}
+	}
+	return out
+}
+
+// RowMajor converts the batch to row-major form: a slice of rows, each a
+// slice of values. This is the "recent" (OLTP-friendly) format in the
+// paper's HTAP transposition discussion (Section 5.4).
+func (b *Batch) RowMajor() [][]Value {
+	rows := make([][]Value, b.NumRows())
+	for i := range rows {
+		rows[i] = b.Row(i)
+	}
+	return rows
+}
+
+// FromRowMajor builds a batch from row-major data, the inverse of
+// RowMajor. This is the transposition the paper proposes doing in a
+// near-memory functional unit.
+func FromRowMajor(schema *Schema, rows [][]Value) *Batch {
+	b := NewBatch(schema, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r...)
+	}
+	return b
+}

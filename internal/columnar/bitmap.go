@@ -1,0 +1,85 @@
+package columnar
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bit set used for null tracking and selection
+// vectors. The zero value is an empty bitmap of length zero; use NewBitmap
+// to size one.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap of n bits, all clear.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count reports the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects b with other in place. Both must have the same length.
+func (b *Bitmap) And(other *Bitmap) {
+	if b.n != other.n {
+		panic("columnar: Bitmap.And length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or unions b with other in place. Both must have the same length.
+func (b *Bitmap) Or(other *Bitmap) {
+	if b.n != other.n {
+		panic("columnar: Bitmap.Or length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// Indices returns the positions of all set bits in ascending order,
+// appended to dst. Used to materialize selection vectors.
+func (b *Bitmap) Indices(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			idx := base + tz
+			if idx >= b.n {
+				break
+			}
+			dst = append(dst, idx)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ByteSize reports the in-memory footprint of the bitmap in bytes.
+func (b *Bitmap) ByteSize() int { return len(b.words) * 8 }

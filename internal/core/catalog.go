@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/columnar"
+	"repro/internal/plan"
+)
+
+// ComputeStats derives planner statistics from a loaded batch: exact
+// distinct counts, integer min/max bounds, and average column widths.
+// Engines call it at load time (statistics maintenance is an ingest-side
+// task in both architectures).
+func ComputeStats(b *columnar.Batch) plan.TableStats {
+	st := plan.StatsFromSchema(b.Schema())
+	st.Rows = int64(b.NumRows())
+	for c := 0; c < b.NumCols(); c++ {
+		col := b.Col(c)
+		switch col.Type() {
+		case columnar.Int64:
+			vals := col.Int64s()
+			distinct := make(map[int64]struct{})
+			first := true
+			for i, v := range vals {
+				if col.IsNull(i) {
+					continue
+				}
+				distinct[v] = struct{}{}
+				if first {
+					st.MinInt[c], st.MaxInt[c] = v, v
+					first = false
+					continue
+				}
+				if v < st.MinInt[c] {
+					st.MinInt[c] = v
+				}
+				if v > st.MaxInt[c] {
+					st.MaxInt[c] = v
+				}
+			}
+			st.Distinct[c] = int64(len(distinct))
+			st.IntBounds[c] = !first
+		case columnar.String:
+			distinct := make(map[string]struct{})
+			var bytes int64
+			for i, v := range col.Strings() {
+				if col.IsNull(i) {
+					continue
+				}
+				distinct[v] = struct{}{}
+				bytes += int64(len(v)) + 16
+			}
+			st.Distinct[c] = int64(len(distinct))
+			if n := int64(col.Len()); n > 0 {
+				st.ColBytes[c] = bytes / n
+				if st.ColBytes[c] == 0 {
+					st.ColBytes[c] = 1
+				}
+			}
+		case columnar.Float64:
+			// Distinct tracking for floats is rarely useful; leave 0.
+		case columnar.Bool:
+			st.Distinct[c] = 2
+		}
+	}
+	return st
+}
+
+// MergeStats folds the statistics of an appended batch into existing
+// table statistics (distinct counts saturate at the sum — an upper
+// bound, which is the safe direction for selectivity).
+func MergeStats(a, b plan.TableStats) plan.TableStats {
+	out := a
+	out.Rows = a.Rows + b.Rows
+	for c := range out.Distinct {
+		if c < len(b.Distinct) {
+			out.Distinct[c] = a.Distinct[c] + b.Distinct[c]
+		}
+		if c < len(b.IntBounds) && b.IntBounds[c] {
+			if !a.IntBounds[c] {
+				out.MinInt[c], out.MaxInt[c] = b.MinInt[c], b.MaxInt[c]
+				out.IntBounds[c] = true
+			} else {
+				if b.MinInt[c] < out.MinInt[c] {
+					out.MinInt[c] = b.MinInt[c]
+				}
+				if b.MaxInt[c] > out.MaxInt[c] {
+					out.MaxInt[c] = b.MaxInt[c]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/columnar"
+	"repro/internal/encoding"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/fabric"
+	"repro/internal/flow"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// DataFlowEngine is the paper's proposed engine: queries run as
+// push-based, credit-controlled pipelines whose stages are placed along
+// the data path (storage processor, NICs, near-memory accelerator, CPU)
+// by the optimizer, with no buffer pool and no data caches on the
+// compute side (Sections 7.4-7.5).
+type DataFlowEngine struct {
+	Cluster   *fabric.Cluster
+	Storage   *storage.Server
+	Scheduler *sched.Scheduler
+
+	// SecureWire encrypts every batch leaving the storage node and
+	// decrypts it at the receiving NIC — the encryption step the paper
+	// (Section 1) says cloud query plans must carry as a first-class
+	// operation. Requires smart NICs; real AES-CTR+HMAC runs on the
+	// payload.
+	SecureWire bool
+
+	mu    sync.Mutex
+	stats map[string]plan.TableStats
+	paths map[int]plan.PathModel
+}
+
+// NewDataFlowEngine wires an engine onto a cluster.
+func NewDataFlowEngine(c *fabric.Cluster) *DataFlowEngine {
+	media := c.MustDevice(fabric.DevStorageMed)
+	proc := c.StorageProc()
+	link := c.LinkBetween(fabric.DevStorageMed, fabric.DevStorageProc)
+	srv := storage.NewServer(storage.NewObjectStore(), media, proc, link)
+	return &DataFlowEngine{
+		Cluster:   c,
+		Storage:   srv,
+		Scheduler: sched.New(),
+		stats:     make(map[string]plan.TableStats),
+		paths:     make(map[int]plan.PathModel),
+	}
+}
+
+// CreateTable registers a table.
+func (e *DataFlowEngine) CreateTable(name string, schema *columnar.Schema) error {
+	_, err := e.Storage.CreateTable(name, schema)
+	return err
+}
+
+// Load ingests a batch and updates planner statistics.
+func (e *DataFlowEngine) Load(name string, b *columnar.Batch) error {
+	if err := e.Storage.Append(name, b); err != nil {
+		return err
+	}
+	st := ComputeStats(b)
+	e.mu.Lock()
+	if prev, ok := e.stats[name]; ok {
+		st = MergeStats(prev, st)
+	}
+	e.stats[name] = st
+	e.mu.Unlock()
+	return nil
+}
+
+// SetStats overrides a table's planner statistics (used by experiments
+// that construct stats analytically).
+func (e *DataFlowEngine) SetStats(name string, st plan.TableStats) {
+	e.mu.Lock()
+	e.stats[name] = st
+	e.mu.Unlock()
+}
+
+// TableSchema resolves a table's schema (it satisfies sqlparse.Catalog).
+func (e *DataFlowEngine) TableSchema(name string) (*columnar.Schema, error) {
+	meta, err := e.Storage.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return meta.Schema, nil
+}
+
+// Stats returns the planner statistics for a table.
+func (e *DataFlowEngine) Stats(name string) (plan.TableStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.stats[name]
+	if !ok {
+		return st, fmt.Errorf("core: no statistics for table %q", name)
+	}
+	return st, nil
+}
+
+// path returns (building lazily) the planner path for a compute node.
+func (e *DataFlowEngine) path(node int) (plan.PathModel, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pm, ok := e.paths[node]; ok {
+		return pm, nil
+	}
+	pm, err := plan.FromCluster(e.Cluster, node)
+	if err != nil {
+		return pm, err
+	}
+	e.paths[node] = pm
+	return pm, nil
+}
+
+// Plan enumerates ranked plan variants for a query on the given node.
+func (e *DataFlowEngine) Plan(q *plan.Query, node int) ([]*plan.Physical, error) {
+	st, err := e.Stats(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := e.path(node)
+	if err != nil {
+		return nil, err
+	}
+	opt := &plan.Optimizer{Path: pm}
+	return opt.Enumerate(q, st)
+}
+
+// Execute plans, schedules and runs a query on compute node 0.
+func (e *DataFlowEngine) Execute(q *plan.Query) (*Result, error) {
+	return e.ExecuteOn(q, 0)
+}
+
+// ExecuteOn plans, schedules and runs a query on the given compute node.
+func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
+	variants, err := e.Plan(q, node)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := e.Scheduler.Admit(variants)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Scheduler.Release(adm)
+	return e.ExecutePlan(adm.Plan)
+}
+
+// ExecutePlan runs one specific physical plan variant, bypassing the
+// scheduler. Experiments use it to force variants.
+func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
+	q := ph.Query
+	numFields, tableSchema, err := e.tableSchema(q.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	before := e.snapshotMeters()
+
+	spec, emitsPartials, err := e.buildScanSpec(ph, numFields)
+	if err != nil {
+		return nil, err
+	}
+
+	stages, paths, err := e.buildStages(ph, spec, emitsPartials, tableSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	var scanStats storage.ScanStats
+	var maxBatch sim.Bytes
+	pipe := &flow.Pipeline{
+		Name: fmt.Sprintf("q-%s", ph.Variant),
+		Source: func(emit flow.Emit) error {
+			st, err := e.Storage.Scan(q.Table, spec, func(b *columnar.Batch) error {
+				if n := sim.Bytes(b.ByteSize()); n > maxBatch {
+					maxBatch = n
+				}
+				return emit(b)
+			})
+			scanStats = st
+			return err
+		},
+		Stages: stages,
+		Paths:  paths,
+	}
+
+	var result Result
+	flowRes, err := pipe.Run(func(b *columnar.Batch) error {
+		result.Batches = append(result.Batches, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result.Stats = e.buildStats(ph, before, flowRes, scanStats, maxBatch, &result)
+	return &result, nil
+}
+
+func (e *DataFlowEngine) tableSchema(name string) (int, *columnar.Schema, error) {
+	meta, err := e.Storage.Table(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return meta.Schema.NumFields(), meta.Schema, nil
+}
+
+// buildScanSpec translates the plan's site-0 placements into the storage
+// scan request.
+func (e *DataFlowEngine) buildScanSpec(ph *plan.Physical, numFields int) (storage.ScanSpec, bool, error) {
+	q := ph.Query
+	spec := storage.ScanSpec{Projection: q.Projection}
+	filterAtStorage := ph.HasPlacement(fabric.OpFilter, plan.SiteStorage)
+	preaggAtStorage := ph.HasPlacement(fabric.OpPreAgg, plan.SiteStorage)
+	countAtStorage := ph.HasPlacement(fabric.OpCount, plan.SiteStorage)
+	projectAtStorage := ph.HasPlacement(fabric.OpProject, plan.SiteStorage)
+
+	spec.Filter = q.Filter
+	spec.Pushdown = filterAtStorage || preaggAtStorage || countAtStorage || projectAtStorage
+	if spec.Pushdown && !filterAtStorage && q.Filter != nil {
+		// A plan that projects at storage but filters later would drop
+		// the filter columns; the optimizer never builds this shape.
+		return spec, false, fmt.Errorf("core: plan %q pushes projection but not the filter", ph.Variant)
+	}
+	emitsPartials := false
+	switch {
+	case preaggAtStorage:
+		spec.PreAgg = q.GroupBy
+		emitsPartials = true
+	case countAtStorage:
+		spec.PreAgg = &expr.GroupBy{Aggs: []expr.AggSpec{{Func: expr.Count}}}
+		emitsPartials = true
+	case q.CountOnly && q.Projection == nil:
+		// Counting later along the path: ship one narrow column only.
+		narrow := 0
+		if q.Filter != nil {
+			narrow = q.Filter.Columns()[0]
+		}
+		spec.Projection = []int{narrow}
+	case q.GroupBy != nil && q.Projection == nil:
+		// Aggregating later: ship only the touched columns.
+		spec.Projection = groupByColumns(q.GroupBy, q.Filter, numFields)
+	}
+	return spec, emitsPartials, nil
+}
+
+// groupByColumns unions group-by and filter columns in ascending order.
+func groupByColumns(g *expr.GroupBy, filter expr.Predicate, numFields int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(c int) {
+		if c >= 0 && c < numFields && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range g.GroupCols {
+		add(c)
+	}
+	for _, a := range g.Aggs {
+		if a.Func != expr.Count {
+			add(a.Col)
+		}
+	}
+	if filter != nil {
+		for _, c := range filter.Columns() {
+			add(c)
+		}
+	}
+	// Ascending order matches storage shipping order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// buildStages assembles the downstream pipeline (everything after the
+// storage scan) from the plan's placements.
+func (e *DataFlowEngine) buildStages(ph *plan.Physical, spec storage.ScanSpec, partials bool, tableSchema *columnar.Schema) ([]flow.Placed, [][]*fabric.Link, error) {
+	q := ph.Query
+	pm := ph.Path
+	numFields := tableSchema.NumFields()
+
+	// Track the shipped format between stages.
+	currentCols := spec.ShippedColumns(numFields)
+	posOf := func(c int) int {
+		for i, cc := range currentCols {
+			if cc == c {
+				return i
+			}
+		}
+		return -1
+	}
+	var stages []flow.Placed
+	var paths [][]*fabric.Link
+	prevDevice := pm.Sites[0].Device
+
+	addStage := func(st flow.Stage, dev *fabric.Device, op fabric.OpClass) error {
+		links, err := e.Cluster.Path(prevDevice.Name, dev.Name)
+		if err != nil {
+			return err
+		}
+		stages = append(stages, flow.Placed{Stage: st, Device: dev, Op: op, ChargeInput: true})
+		paths = append(paths, links)
+		prevDevice = dev
+		return nil
+	}
+
+	// Wire security: seal at the storage NIC, open at the receiving NIC
+	// (Section 1's encryption-as-plan-operation). The sealed payload is
+	// what crosses the network, so the wire also carries the encoded
+	// (smaller) representation.
+	var wireKey *encoding.StreamKey
+	if e.SecureWire {
+		snic := pm.SiteIndex(plan.SiteStorageNIC)
+		cnic := pm.SiteIndex(plan.SiteComputeNIC)
+		if snic < 0 || cnic < 0 ||
+			!pm.Sites[snic].Device.Can(fabric.OpEncrypt) ||
+			!pm.Sites[cnic].Device.Can(fabric.OpDecrypt) {
+			return nil, nil, fmt.Errorf("core: SecureWire requires smart NICs on both ends")
+		}
+		wireKey = encoding.NewStreamKey([]byte("flow:" + q.Table))
+	}
+
+	aggregatePlaced := false
+	for i := 1; i < len(pm.Sites); i++ {
+		site := pm.Sites[i]
+		// The receiving NIC opens sealed batches before running its own
+		// stages.
+		if wireKey != nil && site.Site == plan.SiteComputeNIC {
+			if err := addStage(&exec.DecryptStage{Key: wireKey}, site.Device, fabric.OpDecrypt); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, op := range ph.PlacementsAt(i) {
+			switch op {
+			case fabric.OpFilter:
+				pred := expr.Rebase(q.Filter, posOf)
+				if err := addStage(&exec.FilterStage{Pred: pred}, site.Device, fabric.OpFilter); err != nil {
+					return nil, nil, err
+				}
+			case fabric.OpProject:
+				var positions []int
+				for _, c := range q.Projection {
+					positions = append(positions, posOf(c))
+				}
+				if err := addStage(&exec.ProjectStage{Columns: positions}, site.Device, fabric.OpProject); err != nil {
+					return nil, nil, err
+				}
+				currentCols = q.Projection
+			case fabric.OpPreAgg:
+				budget := stateBudgetGroups(site.Device)
+				var agg *expr.PartialAggregator
+				var raw bool
+				if partials {
+					agg = expr.NewPartialAggregator(mergeSpec(q.GroupBy), expr.PartialSchema(*q.GroupBy, tableSchema), budget)
+				} else {
+					raw = true
+					rebased := q.GroupBy.Rebase(posOf)
+					agg = expr.NewPartialAggregator(rebased, tableSchema.Project(currentCols), budget)
+				}
+				if err := addStage(&exec.PreAggStage{Agg: agg, Raw: raw}, site.Device, fabric.OpPreAgg); err != nil {
+					return nil, nil, err
+				}
+				partials = true
+			case fabric.OpCount:
+				if err := addStage(&exec.CountStage{}, site.Device, fabric.OpCount); err != nil {
+					return nil, nil, err
+				}
+				partials = false
+				aggregatePlaced = true // the count IS the result
+			case fabric.OpAggregate:
+				var stage *exec.FinalAggStage
+				if partials {
+					stage = &exec.FinalAggStage{Agg: expr.NewFinalAggregator(*q.GroupBy, tableSchema), Raw: false}
+				} else {
+					rebased := q.GroupBy.Rebase(posOf)
+					stage = &exec.FinalAggStage{Agg: expr.NewFinalAggregator(rebased, tableSchema.Project(currentCols)), Raw: true}
+				}
+				if err := addStage(stage, site.Device, fabric.OpAggregate); err != nil {
+					return nil, nil, err
+				}
+				partials = false
+				aggregatePlaced = true
+			case fabric.OpSort:
+				if err := addStage(&exec.SortStage{ByCol: q.OrderBy}, site.Device, fabric.OpSort); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// The sending NIC seals batches after running its own stages.
+		if wireKey != nil && site.Site == plan.SiteStorageNIC {
+			if err := addStage(&exec.EncryptStage{Key: wireKey}, site.Device, fabric.OpEncrypt); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	cpu := pm.CPU()
+	// Storage-emitted partials (pre-agg or count pushdown) with no
+	// downstream aggregate still need the terminal merge at the CPU.
+	if partials && !aggregatePlaced {
+		var stage *exec.FinalAggStage
+		if q.CountOnly {
+			countSpec := expr.GroupBy{Aggs: []expr.AggSpec{{Func: expr.Count}}}
+			stage = &exec.FinalAggStage{Agg: expr.NewFinalAggregator(countSpec, tableSchema), Raw: false}
+		} else {
+			stage = &exec.FinalAggStage{Agg: expr.NewFinalAggregator(*q.GroupBy, tableSchema), Raw: false}
+		}
+		if err := addStage(stage, cpu, fabric.OpAggregate); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Results must physically reach the CPU even when no stage lives
+	// there.
+	if prevDevice != cpu {
+		if err := addStage(&deliverStage{}, cpu, fabric.OpScan); err != nil {
+			return nil, nil, err
+		}
+	}
+	if q.Limit > 0 {
+		if err := addStage(&exec.LimitStage{N: q.Limit}, cpu, fabric.OpScan); err != nil {
+			return nil, nil, err
+		}
+	}
+	return stages, paths, nil
+}
+
+// mergeSpec rewrites a group-by for consumption of partial batches:
+// group columns are positional (0..n-1) in the partial layout.
+func mergeSpec(g *expr.GroupBy) expr.GroupBy {
+	out := expr.GroupBy{GroupCols: make([]int, len(g.GroupCols)), Aggs: g.Aggs}
+	for i := range out.GroupCols {
+		out.GroupCols[i] = i
+	}
+	return out
+}
+
+// stateBudgetGroups converts a device's state budget into a group count.
+func stateBudgetGroups(d *fabric.Device) int {
+	if d.StateBudget == 0 {
+		return 0
+	}
+	return int(d.StateBudget / expr.StateSize)
+}
+
+// deliverStage is the terminal passthrough that lands results in the
+// compute node's cores.
+type deliverStage struct{}
+
+func (deliverStage) Name() string { return "deliver" }
+func (deliverStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	return emit(b)
+}
+func (deliverStage) Flush(flow.Emit) error { return nil }
+
+// meterKey identifies one device or link meter.
+type meterKey struct {
+	link bool
+	name string
+}
+
+func (e *DataFlowEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+	out := make(map[meterKey]sim.Snapshot)
+	for _, d := range e.Cluster.Devices() {
+		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
+	}
+	for _, l := range e.Cluster.Links() {
+		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
+	}
+	return out
+}
+
+// buildStats derives the execution stats from meter deltas.
+func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]sim.Snapshot, flowRes flow.Result, scan storage.ScanStats, maxBatch sim.Bytes, res *Result) ExecStats {
+	st := ExecStats{
+		Engine:     "dataflow",
+		Variant:    ph.Variant,
+		LinkBytes:  make(map[string]sim.Bytes),
+		DeviceBusy: make(map[string]sim.VTime),
+		Scan:       scan,
+		Ports:      flowRes.Ports,
+		ResultRows: res.Rows(),
+	}
+	var maxBusy sim.VTime
+	for _, d := range e.Cluster.Devices() {
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		if delta.Busy > 0 {
+			st.DeviceBusy[d.Name] = delta.Busy
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+		}
+	}
+	cpu := ph.Path.CPU()
+	cpuDelta := cpu.Meter.Snapshot().Sub(before[meterKey{false, cpu.Name}])
+	st.CPUBytes = cpuDelta.Bytes
+	st.CPUBusy = cpuDelta.Busy
+	var latency sim.VTime
+	for _, l := range e.Cluster.Links() {
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		if delta.Bytes > 0 {
+			st.LinkBytes[l.Name] = delta.Bytes
+			st.MovedBytes += delta.Bytes
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+			latency += l.Latency
+		}
+	}
+	// Pipelined makespan: the bottleneck resource plus one latency per
+	// traversed hop.
+	st.SimTime = maxBusy + latency
+	// Peak compute-side memory: in-flight port buffering plus any final
+	// aggregation state — there is no buffer pool.
+	depth := 8
+	var resultBytes sim.Bytes
+	for _, b := range res.Batches {
+		resultBytes += sim.Bytes(b.ByteSize())
+	}
+	st.PeakMemory = maxBatch*sim.Bytes(depth) + resultBytes + sim.Bytes(res.Rows())*expr.StateSize
+	return st
+}

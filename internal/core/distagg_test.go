@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func TestDistributedGroupByMatchesSingleNode(t *testing.T) {
+	df, _, cfg := newEngines(t)
+	for _, q := range []*plan.Query{
+		plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary()),
+		plan.NewQuery("lineitem").
+			WithFilter(workload.SelectivityFilter(cfg, 0.3)).
+			WithGroupBy(workload.PartVolume()),
+	} {
+		single, err := df.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := df.ExecuteGroupByDistributed(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, single, dist)
+	}
+}
+
+func TestDistributedGroupBySpreadsWork(t *testing.T) {
+	df, _, _ := newEngines(t)
+	q := plan.NewQuery("lineitem").WithGroupBy(workload.PartVolume())
+	res, err := df.ExecuteGroupByDistributed(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res.Stats.DeviceBusy[fabric.ComputeDev(i, "cpu")] == 0 {
+			t.Errorf("node %d CPU idle in distributed group-by", i)
+		}
+	}
+	// The NIC did the partitioning, not a CPU.
+	if res.Stats.DeviceBusy[fabric.DevStorageNIC] == 0 {
+		t.Error("storage NIC idle: scatter ran elsewhere")
+	}
+}
+
+func TestDistributedGroupByValidation(t *testing.T) {
+	df, _, _ := newEngines(t)
+	if _, err := df.ExecuteGroupByDistributed(plan.NewQuery("lineitem").WithCount(), 2); err == nil {
+		t.Error("count-only accepted")
+	}
+	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
+	if _, err := df.ExecuteGroupByDistributed(q, 99); err == nil {
+		t.Error("too many nodes accepted")
+	}
+	if _, err := df.ExecuteGroupByDistributed(plan.NewQuery("ghost").WithGroupBy(workload.PricingSummary()), 2); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Failure injection: the engines must surface storage corruption as
+// errors, never as wrong answers, and concurrent use must be safe.
+
+func TestDataFlowDetectsCorruptSegment(t *testing.T) {
+	df, _, cfg := newEngines(t)
+	meta, err := df.Storage.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := meta.SegmentKeys[len(meta.SegmentKeys)/2]
+	blob, err := df.Storage.Store().Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := append([]byte(nil), blob...)
+	mangled[len(mangled)/2] ^= 0x20
+	df.Storage.Store().Put(key, mangled)
+
+	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
+	_, err = df.Execute(q)
+	if err == nil {
+		t.Fatal("corrupted segment produced a result")
+	}
+	if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("err = %v, want corruption/checksum mention", err)
+	}
+	_ = cfg
+}
+
+func TestVolcanoDetectsCorruptSegment(t *testing.T) {
+	_, vo, _ := newEngines(t)
+	meta, err := vo.Storage.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := meta.SegmentKeys[0]
+	blob, err := vo.Storage.Store().Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := append([]byte(nil), blob...)
+	mangled[len(mangled)-3] ^= 0x01
+	vo.Storage.Store().Put(key, mangled)
+
+	if _, err := vo.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+		t.Fatal("volcano returned a count from a corrupted segment")
+	}
+}
+
+func TestDataFlowDetectsMissingObject(t *testing.T) {
+	df, _, _ := newEngines(t)
+	meta, err := df.Storage.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.Storage.Store().Delete(meta.SegmentKeys[0])
+	if _, err := df.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+		t.Fatal("missing segment produced a result")
+	}
+}
+
+func TestConcurrentExecutes(t *testing.T) {
+	cfg := workload.DefaultLineitemConfig(10000)
+	data := workload.GenLineitem(cfg)
+	df := NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
+	if err := df.CreateTable("lineitem", workload.LineitemSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Load("lineitem", data); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*plan.Query{
+		plan.NewQuery("lineitem").WithCount(),
+		plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary()),
+		plan.NewQuery("lineitem").
+			WithFilter(workload.SelectivityFilter(cfg, 0.1)).
+			WithProjection(workload.LExtendedPrice),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				q := queries[(w+i)%len(queries)]
+				res, err := df.ExecuteOn(q, w%2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows() == 0 && !q.CountOnly {
+					// Filter/projection queries have survivors at 10%.
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if df.Scheduler.ActiveCount() != 0 {
+		t.Error("admissions leaked after concurrent load")
+	}
+	df.Scheduler.ClearLimits()
+	// A follow-up query still answers correctly.
+	res, err := df.Execute(plan.NewQuery("lineitem").WithCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Batches[0].Col(0).Int64s()[0]; got != 10000 {
+		t.Fatalf("post-stress count = %d", got)
+	}
+}
+
+func TestVolcanoPoolTooSmallForSegment(t *testing.T) {
+	// A pool smaller than one segment cannot execute at all — the
+	// anchor problem of Section 7.4 taken to its limit.
+	vo := NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), 4*sim.KB)
+	if err := vo.CreateTable("lineitem", workload.LineitemSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := vo.Load("lineitem", workload.GenLineitem(workload.DefaultLineitemConfig(5000))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vo.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+		t.Fatal("4KB pool executed a scan over larger segments")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bufferpool"
+	"repro/internal/columnar"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// JoinQuery is an equi-join between two stored tables. The build side
+// should be the smaller table.
+type JoinQuery struct {
+	Probe    string // probe-side (streaming) table
+	Build    string // build-side (hash table) table
+	ProbeKey int    // key column in the probe schema
+	BuildKey int    // key column in the build schema
+	// Nodes is how many compute nodes participate; 0 means all.
+	Nodes int
+}
+
+// ExecuteJoin runs the Figure 4 plan: both sides are scanned at storage
+// and scattered by key — on the storage NIC when it is smart, otherwise
+// on compute node 0's CPU — to per-node hash joins; results gather on
+// node 0.
+func (e *DataFlowEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
+	nodes := jq.Nodes
+	if nodes <= 0 {
+		nodes = e.Cluster.Cfg.ComputeNodes
+	}
+	if nodes > e.Cluster.Cfg.ComputeNodes {
+		return nil, fmt.Errorf("core: join wants %d nodes, cluster has %d", nodes, e.Cluster.Cfg.ComputeNodes)
+	}
+	before := e.snapshotMeters()
+
+	build, _, err := e.materialize(jq.Build)
+	if err != nil {
+		return nil, err
+	}
+	probe, _, err := e.materialize(jq.Probe)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scatter point: the storage NIC if it can partition, else the
+	// first compute node's CPU (the legacy exchange).
+	scatter := e.Cluster.StorageNIC()
+	if !scatter.Can(fabric.OpPartition) {
+		scatter = e.Cluster.ComputeCPU(0)
+	}
+
+	cfg := netsim.DistJoinConfig{
+		BuildKey:      jq.BuildKey,
+		ProbeKey:      jq.ProbeKey,
+		ScatterDevice: scatter,
+		ScatterOnNIC:  scatter.Kind == fabric.KindSmartNIC,
+		BatchRows:     storage.DefaultBatchRows,
+	}
+	for i := 0; i < nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, netsim.JoinNode{
+			Name: fabric.ComputeDev(i, "cpu"),
+			CPU:  e.Cluster.ComputeCPU(i),
+		})
+		path, err := e.Cluster.Path(scatter.Name, fabric.ComputeDev(i, "cpu"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Paths = append(cfg.Paths, path)
+	}
+
+	// Per-node results gather back to node 0.
+	perNode := make([][]*columnar.Batch, nodes)
+	_, err = netsim.DistributedJoin(cfg, build, probe, func(node int, b *columnar.Batch) error {
+		perNode[node] = append(perNode[node], b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	gatherPaths := make([][]*fabric.Link, nodes)
+	for i := 1; i < nodes; i++ { // node 0's results are already local
+		p, err := e.Cluster.Path(fabric.ComputeDev(i, "cpu"), fabric.ComputeDev(0, "cpu"))
+		if err != nil {
+			return nil, err
+		}
+		gatherPaths[i] = p
+	}
+	batches := netsim.Gather(perNode, gatherPaths)
+
+	res := &Result{Batches: batches}
+	res.Stats = e.joinStats(before, res)
+	return res, nil
+}
+
+// materialize scans a full table into batches, charging the storage
+// side (media read + decode) but not shipping anywhere yet — the
+// exchange does the shipping.
+func (e *DataFlowEngine) materialize(table string) ([]*columnar.Batch, storage.ScanStats, error) {
+	var out []*columnar.Batch
+	st, err := e.Storage.Scan(table, storage.ScanSpec{}, func(b *columnar.Batch) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	if len(out) == 0 {
+		return nil, st, fmt.Errorf("core: table %q is empty", table)
+	}
+	return out, st, nil
+}
+
+func (e *DataFlowEngine) joinStats(before map[meterKey]sim.Snapshot, res *Result) ExecStats {
+	st := ExecStats{
+		Engine:     "dataflow",
+		Variant:    "distributed-join",
+		LinkBytes:  make(map[string]sim.Bytes),
+		DeviceBusy: make(map[string]sim.VTime),
+		ResultRows: res.Rows(),
+	}
+	var maxBusy sim.VTime
+	for _, d := range e.Cluster.Devices() {
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		if delta.Busy > 0 {
+			st.DeviceBusy[d.Name] = delta.Busy
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+		}
+		if d.Kind == fabric.KindCPU {
+			st.CPUBytes += delta.Bytes
+			st.CPUBusy += delta.Busy
+		}
+	}
+	var latency sim.VTime
+	for _, l := range e.Cluster.Links() {
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		if delta.Bytes > 0 {
+			st.LinkBytes[l.Name] = delta.Bytes
+			st.MovedBytes += delta.Bytes
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+			latency += l.Latency
+		}
+	}
+	st.SimTime = maxBusy + latency
+	return st
+}
+
+// ExecuteJoin on the Volcano baseline: both sides are pulled through the
+// buffer pool to compute node 0 and joined there by the blocking
+// iterator — no exchange, no other nodes, all bytes to one CPU.
+func (e *VolcanoEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
+	before := e.snapshotMeters()
+	buildIt, err := e.tableIterator(jq.Build)
+	if err != nil {
+		return nil, err
+	}
+	probeIt, err := e.tableIterator(jq.Probe)
+	if err != nil {
+		return nil, err
+	}
+	it := &HashJoinChargeIter{
+		Inner: &exec.HashJoinIter{
+			Build: buildIt, Probe: probeIt,
+			BuildKey: jq.BuildKey, ProbeKey: jq.ProbeKey,
+		},
+		CPU: e.cpu,
+	}
+	batches, err := exec.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Batches: batches}
+	res.Stats = e.buildStats(before, res)
+	res.Stats.Variant = "volcano-join"
+	return res, nil
+}
+
+// tableIterator builds the baseline's buffer-pool-backed scan.
+func (e *VolcanoEngine) tableIterator(table string) (exec.Iterator, error) {
+	meta, err := e.Storage.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	segIdx := 0
+	dramToCPU := e.Cluster.LinkBetween(e.dram, e.cpu.Name)
+	return exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+		if segIdx >= len(meta.SegmentKeys) {
+			return nil, nil
+		}
+		key := meta.SegmentKeys[segIdx]
+		segIdx++
+		page, err := e.Pool.Get(bufferpool.PageID(key))
+		if err != nil {
+			return nil, err
+		}
+		defer e.Pool.Unpin(bufferpool.PageID(key))
+		seg, err := storage.UnmarshalSegment(page.Data)
+		if err != nil {
+			return nil, err
+		}
+		e.cpu.Charge(fabric.OpDecompress, sim.Bytes(len(page.Data)))
+		batch, err := seg.Decode()
+		if err != nil {
+			return nil, err
+		}
+		if dramToCPU != nil {
+			dramToCPU.Transfer(sim.Bytes(batch.ByteSize()))
+		}
+		return batch, nil
+	}), nil
+}
+
+// HashJoinChargeIter charges the CPU for join work per probed batch.
+type HashJoinChargeIter struct {
+	Inner exec.Iterator
+	CPU   *fabric.Device
+}
+
+// Schema implements exec.Iterator.
+func (it *HashJoinChargeIter) Schema() *columnar.Schema { return it.Inner.Schema() }
+
+// Next implements exec.Iterator.
+func (it *HashJoinChargeIter) Next() (*columnar.Batch, error) {
+	b, err := it.Inner.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	it.CPU.Charge(fabric.OpJoin, sim.Bytes(b.ByteSize()))
+	return b, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func setupJoinEngines(t *testing.T, orders, lines int) (*DataFlowEngine, *VolcanoEngine) {
+	t.Helper()
+	lcfg := workload.DefaultLineitemConfig(lines)
+	lcfg.Orders = int64(orders) // lineitem order keys land in [0, orders)
+	lineData := workload.GenLineitem(lcfg)
+	orderData := workload.GenOrders(orders, 9)
+
+	df := NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
+	vo := NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), 512*sim.MB)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(df.CreateTable("lineitem", workload.LineitemSchema()))
+	must(df.CreateTable("orders", workload.OrdersSchema()))
+	must(df.Load("lineitem", lineData))
+	must(df.Load("orders", orderData))
+	must(vo.CreateTable("lineitem", workload.LineitemSchema()))
+	must(vo.CreateTable("orders", workload.OrdersSchema()))
+	must(vo.Load("lineitem", lineData))
+	must(vo.Load("orders", orderData))
+	return df, vo
+}
+
+// joinFingerprint summarizes a join result order-insensitively:
+// row count plus a sorted sample of (probe key, build key) sums.
+func joinFingerprint(t *testing.T, r *Result, probeKeyCol, buildKeyCol int) (int64, []int64) {
+	t.Helper()
+	var keys []int64
+	for _, b := range r.Batches {
+		pk := b.Col(probeKeyCol).Int64s()
+		bk := b.Col(buildKeyCol).Int64s()
+		for i := range pk {
+			if pk[i] != bk[i] {
+				t.Fatalf("join emitted mismatched keys %d vs %d", pk[i], bk[i])
+			}
+			keys = append(keys, pk[i])
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return int64(len(keys)), keys
+}
+
+func TestDistributedJoinMatchesVolcano(t *testing.T) {
+	df, vo := setupJoinEngines(t, 2000, 10000)
+	jq := JoinQuery{
+		Probe: "lineitem", Build: "orders",
+		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
+	}
+	dfRes, err := df.ExecuteJoin(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voRes, err := vo.ExecuteJoin(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every lineitem row has an order (keys in [0, orders)), so the
+	// join is total.
+	if dfRes.Rows() != 10000 {
+		t.Fatalf("dataflow join rows = %d, want 10000", dfRes.Rows())
+	}
+	// Output schemas: probe(lineitem 9 cols) + build(orders 5 cols);
+	// probe key col 0, build key col 9.
+	dfN, dfKeys := joinFingerprint(t, dfRes, workload.LOrderKey, 9)
+	voN, voKeys := joinFingerprint(t, voRes, workload.LOrderKey, 9)
+	if dfN != voN {
+		t.Fatalf("row counts differ: %d vs %d", dfN, voN)
+	}
+	for i := range dfKeys {
+		if dfKeys[i] != voKeys[i] {
+			t.Fatalf("key multiset differs at %d: %d vs %d", i, dfKeys[i], voKeys[i])
+		}
+	}
+}
+
+func TestDistributedJoinStats(t *testing.T) {
+	df, vo := setupJoinEngines(t, 1000, 8000)
+	jq := JoinQuery{
+		Probe: "lineitem", Build: "orders",
+		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
+	}
+	dfRes, err := df.ExecuteJoin(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voRes, err := vo.ExecuteJoin(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfRes.Stats.Variant != "distributed-join" {
+		t.Errorf("variant = %q", dfRes.Stats.Variant)
+	}
+	// The NIC scatter spreads join work over both nodes and keeps the
+	// exchange off the CPUs: per-CPU busy must be below the volcano
+	// single-CPU busy.
+	for i := 0; i < 2; i++ {
+		name := fabric.ComputeDev(i, "cpu")
+		if dfRes.Stats.DeviceBusy[name] == 0 {
+			t.Errorf("node %d CPU idle: join not distributed", i)
+		}
+		if dfRes.Stats.DeviceBusy[name] >= voRes.Stats.CPUBusy {
+			t.Errorf("node %d busy %v >= volcano single-CPU %v",
+				i, dfRes.Stats.DeviceBusy[name], voRes.Stats.CPUBusy)
+		}
+	}
+	if dfRes.Stats.SimTime <= 0 || dfRes.Stats.MovedBytes <= 0 {
+		t.Error("join stats incomplete")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	df, vo := setupJoinEngines(t, 100, 500)
+	if _, err := df.ExecuteJoin(JoinQuery{Probe: "ghost", Build: "orders"}); err == nil {
+		t.Error("join with unknown probe succeeded")
+	}
+	if _, err := vo.ExecuteJoin(JoinQuery{Probe: "lineitem", Build: "ghost"}); err == nil {
+		t.Error("volcano join with unknown build succeeded")
+	}
+	if _, err := df.ExecuteJoin(JoinQuery{Probe: "lineitem", Build: "orders", Nodes: 99}); err == nil {
+		t.Error("join with too many nodes succeeded")
+	}
+}
+
+func TestJoinOnLegacyClusterUsesCPUScatter(t *testing.T) {
+	lcfg := workload.DefaultLineitemConfig(2000)
+	lcfg.Orders = 500
+	df := NewDataFlowEngine(fabric.NewCluster(fabric.LegacyClusterConfig()))
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(df.CreateTable("lineitem", workload.LineitemSchema()))
+	must(df.CreateTable("orders", workload.OrdersSchema()))
+	must(df.Load("lineitem", workload.GenLineitem(lcfg)))
+	must(df.Load("orders", workload.GenOrders(500, 9)))
+	res, err := df.ExecuteJoin(JoinQuery{
+		Probe: "lineitem", Build: "orders",
+		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 2000 {
+		t.Fatalf("rows = %d", res.Rows())
+	}
+	// On the dumb fabric the scatter ran on compute0's CPU: its busy
+	// time includes partitioning the probe side.
+	cpu0 := res.Stats.DeviceBusy[fabric.ComputeDev(0, "cpu")]
+	if cpu0 == 0 {
+		t.Error("legacy scatter CPU idle")
+	}
+}

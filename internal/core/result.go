@@ -1,0 +1,137 @@
+// Package core is the engine facade: it wires the substrates (fabric,
+// storage, flow, exec, plan, sched) into two complete query engines —
+// the DataFlowEngine the paper calls for, which lays each query out as a
+// streaming pipeline over the data path, and the VolcanoEngine baseline,
+// a CPU-centric pull engine with a buffer pool. Both run the same
+// queries on the same stored data and return the same answers; their
+// execution stats differ in exactly the dimensions the paper predicts.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/columnar"
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Result is a completed query execution.
+type Result struct {
+	Batches []*columnar.Batch
+	Stats   ExecStats
+}
+
+// Rows reports the total result rows.
+func (r *Result) Rows() int64 {
+	var n int64
+	for _, b := range r.Batches {
+		n += int64(b.NumRows())
+	}
+	return n
+}
+
+// Schema returns the result schema (nil for an empty result set).
+func (r *Result) Schema() *columnar.Schema {
+	if len(r.Batches) == 0 {
+		return nil
+	}
+	return r.Batches[0].Schema()
+}
+
+// Format renders the result as an aligned text table capped at maxRows.
+func (r *Result) Format(maxRows int) string {
+	if len(r.Batches) == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	schema := r.Schema()
+	var names []string
+	for _, f := range schema.Fields {
+		names = append(names, f.Name)
+	}
+	b.WriteString(strings.Join(names, "\t"))
+	b.WriteByte('\n')
+	printed := 0
+	for _, batch := range r.Batches {
+		for i := 0; i < batch.NumRows() && printed < maxRows; i++ {
+			var cells []string
+			for _, v := range batch.Row(i) {
+				cells = append(cells, v.String())
+			}
+			b.WriteString(strings.Join(cells, "\t"))
+			b.WriteByte('\n')
+			printed++
+		}
+	}
+	if total := r.Rows(); total > int64(printed) {
+		fmt.Fprintf(&b, "... (%d more rows)\n", total-int64(printed))
+	}
+	return b.String()
+}
+
+// ExecStats is the per-query cost decomposition the experiments report.
+type ExecStats struct {
+	Engine  string // "dataflow" or "volcano"
+	Variant string // chosen plan variant (dataflow)
+
+	// MovedBytes is the total payload crossing all fabric links — the
+	// paper's first-class cost.
+	MovedBytes sim.Bytes
+	// LinkBytes decomposes MovedBytes by link name.
+	LinkBytes map[string]sim.Bytes
+	// DeviceBusy decomposes virtual busy time by device name.
+	DeviceBusy map[string]sim.VTime
+	// CPUBytes is the payload the compute node's cores had to touch.
+	CPUBytes sim.Bytes
+	// CPUBusy is the compute cores' virtual busy time.
+	CPUBusy sim.VTime
+	// SimTime estimates the pipeline makespan: the bottleneck resource's
+	// busy time plus one latency per traversed hop.
+	SimTime sim.VTime
+	// Scan reports what the storage layer did.
+	Scan storage.ScanStats
+	// Ports carries flow-control counters (dataflow only).
+	Ports []flow.PortStats
+	// PeakMemory is the compute-node memory the engine needed (buffer
+	// pool residency for Volcano, retained stage state for dataflow).
+	PeakMemory sim.Bytes
+	// ResultRows is the number of rows returned.
+	ResultRows int64
+}
+
+// String summarizes the stats on a few lines.
+func (s ExecStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", s.Engine)
+	if s.Variant != "" {
+		fmt.Fprintf(&b, "/%s", s.Variant)
+	}
+	fmt.Fprintf(&b, ": rows=%d moved=%s cpu=%s simtime=%s peakmem=%s\n",
+		s.ResultRows, s.MovedBytes, s.CPUBytes, s.SimTime, s.PeakMemory)
+	names := make([]string, 0, len(s.LinkBytes))
+	for n := range s.LinkBytes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  link %-32s %s\n", n, s.LinkBytes[n])
+	}
+	return b.String()
+}
+
+// ControlOverhead reports credit messages per data message across all
+// ports, the Section 7.1 "low traffic" check. Returns 0 with no ports.
+func (s ExecStats) ControlOverhead() float64 {
+	var data, credit int64
+	for _, p := range s.Ports {
+		data += p.DataMessages
+		credit += p.CreditMessages
+	}
+	if data == 0 {
+		return 0
+	}
+	return float64(credit) / float64(data)
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bufferpool"
+	"repro/internal/columnar"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// VolcanoEngine is the CPU-centric baseline the paper argues against: a
+// pull-based iterator engine that fetches whole segments through a
+// buffer pool into compute-node memory and evaluates every operator on
+// the cores. The storage layer only stores; the NICs only move bytes;
+// all reduction happens at the end of the data path (Figure 1).
+type VolcanoEngine struct {
+	Cluster *fabric.Cluster
+	Storage *storage.Server
+	Pool    *bufferpool.Pool
+
+	node int
+	cpu  *fabric.Device
+	dram string
+
+	mu      sync.Mutex
+	stats   map[string]plan.TableStats
+	fetches int64
+}
+
+// NewVolcanoEngine wires the baseline onto a cluster with the given
+// buffer-pool capacity on compute node 0.
+func NewVolcanoEngine(c *fabric.Cluster, poolBytes sim.Bytes) *VolcanoEngine {
+	media := c.MustDevice(fabric.DevStorageMed)
+	proc := c.StorageProc()
+	link := c.LinkBetween(fabric.DevStorageMed, fabric.DevStorageProc)
+	e := &VolcanoEngine{
+		Cluster: c,
+		Storage: storage.NewServer(storage.NewObjectStore(), media, proc, link),
+		node:    0,
+		cpu:     c.ComputeCPU(0),
+		dram:    fabric.ComputeDev(0, "dram"),
+		stats:   make(map[string]plan.TableStats),
+	}
+	e.Pool = bufferpool.New(poolBytes, e.fetchPage)
+	return e
+}
+
+// fetchPage loads one segment blob from disaggregated storage into the
+// compute node's memory, charging the media and the whole network path —
+// this is the legacy data path of Figure 1 stretched across the cloud.
+func (e *VolcanoEngine) fetchPage(id bufferpool.PageID) ([]byte, error) {
+	blob, err := e.Storage.Store().Get(string(id))
+	if err != nil {
+		return nil, err
+	}
+	n := sim.Bytes(len(blob))
+	e.Cluster.MustDevice(fabric.DevStorageMed).Charge(fabric.OpScan, n)
+	if _, err := e.Cluster.Transfer(fabric.DevStorageMed, e.dram, n); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.fetches++
+	e.mu.Unlock()
+	return blob, nil
+}
+
+// CreateTable registers a table.
+func (e *VolcanoEngine) CreateTable(name string, schema *columnar.Schema) error {
+	_, err := e.Storage.CreateTable(name, schema)
+	return err
+}
+
+// Load ingests a batch and updates statistics.
+func (e *VolcanoEngine) Load(name string, b *columnar.Batch) error {
+	if err := e.Storage.Append(name, b); err != nil {
+		return err
+	}
+	st := ComputeStats(b)
+	e.mu.Lock()
+	if prev, ok := e.stats[name]; ok {
+		st = MergeStats(prev, st)
+	}
+	e.stats[name] = st
+	e.mu.Unlock()
+	return nil
+}
+
+// TableSchema resolves a table's schema (it satisfies sqlparse.Catalog).
+func (e *VolcanoEngine) TableSchema(name string) (*columnar.Schema, error) {
+	meta, err := e.Storage.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return meta.Schema, nil
+}
+
+// chargeIter charges a device for every batch flowing through it; this
+// is how the baseline accounts per-operator CPU work.
+type chargeIter struct {
+	in  exec.Iterator
+	dev *fabric.Device
+	op  fabric.OpClass
+}
+
+func (it *chargeIter) Schema() *columnar.Schema { return it.in.Schema() }
+
+func (it *chargeIter) Next() (*columnar.Batch, error) {
+	b, err := it.in.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	it.dev.Charge(it.op, sim.Bytes(b.ByteSize()))
+	return b, nil
+}
+
+// Execute runs a query through the pull-based iterator tree.
+func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	meta, err := e.Storage.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	before := e.snapshotMeters()
+
+	// Scan: pull each segment through the buffer pool, decode on the
+	// CPU, then stream the decoded batch from DRAM into the cores at
+	// the single-core-limited rate.
+	segIdx := 0
+	var maxDecoded sim.Bytes
+	dramToCPU := e.Cluster.LinkBetween(e.dram, e.cpu.Name)
+	var it exec.Iterator = exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+		if segIdx >= len(meta.SegmentKeys) {
+			return nil, nil
+		}
+		key := meta.SegmentKeys[segIdx]
+		segIdx++
+		page, err := e.Pool.Get(bufferpool.PageID(key))
+		if err != nil {
+			return nil, err
+		}
+		defer e.Pool.Unpin(bufferpool.PageID(key))
+		seg, err := storage.UnmarshalSegment(page.Data)
+		if err != nil {
+			return nil, err
+		}
+		// Decode (checksum + decompress) happens on the compute CPU in
+		// the legacy model.
+		e.cpu.Charge(fabric.OpDecompress, sim.Bytes(len(page.Data)))
+		batch, err := seg.Decode()
+		if err != nil {
+			return nil, err
+		}
+		if n := sim.Bytes(batch.ByteSize()); n > maxDecoded {
+			maxDecoded = n
+		}
+		if dramToCPU != nil {
+			dramToCPU.Transfer(sim.Bytes(batch.ByteSize()))
+		}
+		return batch, nil
+	})
+
+	// Operator tree, all on the CPU.
+	if q.Filter != nil {
+		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpFilter}
+		it = &exec.FilterIter{In: it, Pred: q.Filter}
+	}
+	switch {
+	case q.CountOnly:
+		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpCount}
+		it = &exec.AggIter{In: it, Spec: expr.GroupBy{Aggs: []expr.AggSpec{{Func: expr.Count}}}}
+	case q.GroupBy != nil:
+		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpAggregate}
+		it = &exec.AggIter{In: it, Spec: *q.GroupBy}
+	case q.Projection != nil:
+		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpProject}
+		it = &exec.ProjectIter{In: it, Columns: q.Projection}
+	}
+	if q.OrderBy >= 0 {
+		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpSort}
+		it = &exec.SortIter{In: it, ByCol: q.OrderBy}
+	}
+	if q.Limit > 0 {
+		it = &exec.LimitIter{In: it, N: q.Limit}
+	}
+
+	batches, err := exec.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Batches: batches}
+	res.Stats = e.buildStats(before, res)
+	res.Stats.PeakMemory += maxDecoded
+	return res, nil
+}
+
+func (e *VolcanoEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+	out := make(map[meterKey]sim.Snapshot)
+	for _, d := range e.Cluster.Devices() {
+		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
+	}
+	for _, l := range e.Cluster.Links() {
+		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
+	}
+	return out
+}
+
+// buildStats mirrors the data-flow engine's accounting so results are
+// directly comparable.
+func (e *VolcanoEngine) buildStats(before map[meterKey]sim.Snapshot, res *Result) ExecStats {
+	st := ExecStats{
+		Engine:     "volcano",
+		LinkBytes:  make(map[string]sim.Bytes),
+		DeviceBusy: make(map[string]sim.VTime),
+		ResultRows: res.Rows(),
+	}
+	var maxBusy sim.VTime
+	for _, d := range e.Cluster.Devices() {
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		if delta.Busy > 0 {
+			st.DeviceBusy[d.Name] = delta.Busy
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+		}
+	}
+	cpuDelta := e.cpu.Meter.Snapshot().Sub(before[meterKey{false, e.cpu.Name}])
+	st.CPUBytes = cpuDelta.Bytes
+	st.CPUBusy = cpuDelta.Busy
+	var latency sim.VTime
+	for _, l := range e.Cluster.Links() {
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		if delta.Bytes > 0 {
+			st.LinkBytes[l.Name] = delta.Bytes
+			st.MovedBytes += delta.Bytes
+			if delta.Busy > maxBusy {
+				maxBusy = delta.Busy
+			}
+		}
+	}
+	// Pull execution pays the storage round trip per buffer-pool miss,
+	// not once per stream: latency amplifies with misses.
+	e.mu.Lock()
+	fetches := e.fetches
+	e.mu.Unlock()
+	if path, err := e.Cluster.Path(fabric.DevStorageMed, e.dram); err == nil {
+		var hop sim.VTime
+		for _, l := range path {
+			hop += l.Latency
+		}
+		latency += hop * sim.VTime(fetches)
+	}
+	st.SimTime = maxBusy + latency
+	poolStats := e.Pool.Stats()
+	var resultBytes sim.Bytes
+	for _, b := range res.Batches {
+		resultBytes += sim.Bytes(b.ByteSize())
+	}
+	st.PeakMemory = poolStats.Resident + resultBytes
+	return st
+}

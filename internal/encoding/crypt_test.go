@@ -1,0 +1,73 @@
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := NewStreamKey([]byte("flow-42"))
+	for seq, msg := range []string{"", "x", "hello world", string(bytes.Repeat([]byte{7}, 10000))} {
+		sealed, err := k.Encrypt(uint64(seq), []byte(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != msg {
+			t.Fatalf("round trip changed message (len %d)", len(msg))
+		}
+	}
+}
+
+func TestEncryptDistinctSequences(t *testing.T) {
+	k := NewStreamKey([]byte("s"))
+	a, _ := k.Encrypt(1, []byte("same plaintext"))
+	b, _ := k.Encrypt(2, []byte("same plaintext"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct sequence numbers produced identical ciphertexts")
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	k := NewStreamKey([]byte("s"))
+	sealed, _ := k.Encrypt(9, []byte("sensitive tuple data"))
+	for _, pos := range []int{0, nonceSize + 2, len(sealed) - 1} {
+		mangled := append([]byte(nil), sealed...)
+		mangled[pos] ^= 0x01
+		if _, err := k.Decrypt(mangled); !errors.Is(err, ErrAuth) {
+			t.Errorf("tamper at %d: err = %v, want ErrAuth", pos, err)
+		}
+	}
+	if _, err := k.Decrypt(sealed[:10]); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestDecryptRejectsWrongKey(t *testing.T) {
+	a := NewStreamKey([]byte("alpha"))
+	b := NewStreamKey([]byte("beta"))
+	sealed, _ := a.Encrypt(1, []byte("payload"))
+	if _, err := b.Decrypt(sealed); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong key: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestEncryptProperty(t *testing.T) {
+	k := NewStreamKey([]byte("prop"))
+	f := func(seq uint64, data []byte) bool {
+		sealed, err := k.Encrypt(seq, data)
+		if err != nil {
+			return false
+		}
+		got, err := k.Decrypt(sealed)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeDict dictionary-encodes strings: a sorted-by-first-appearance
+// dictionary of distinct values followed by per-row codes, themselves
+// bit-packed. Low-cardinality string columns (flags, countries, statuses)
+// shrink dramatically, and equality predicates can be evaluated on codes.
+func EncodeDict(vals []string) []byte {
+	dict := make([]string, 0, 16)
+	codeOf := make(map[string]int64, 16)
+	codes := make([]int64, len(vals))
+	for i, s := range vals {
+		c, ok := codeOf[s]
+		if !ok {
+			c = int64(len(dict))
+			codeOf[s] = c
+			dict = append(dict, s)
+		}
+		codes[i] = c
+	}
+	out := putUvarint(nil, uint64(len(dict)))
+	for _, s := range dict {
+		out = putUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	packed := EncodeBitPacked(codes)
+	out = putUvarint(out, uint64(len(packed)))
+	out = append(out, packed...)
+	return out
+}
+
+// DecodeDict reverses EncodeDict.
+func DecodeDict(data []byte) ([]string, error) {
+	nd, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad dict size", ErrCorrupt)
+	}
+	data = data[sz:]
+	dict := make([]string, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		l, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < l {
+			return nil, fmt.Errorf("%w: truncated dict entry", ErrCorrupt)
+		}
+		data = data[sz:]
+		dict = append(dict, string(data[:l]))
+		data = data[l:]
+	}
+	pl, sz := binary.Uvarint(data)
+	if sz <= 0 || uint64(len(data)-sz) < pl {
+		return nil, fmt.Errorf("%w: truncated dict codes", ErrCorrupt)
+	}
+	data = data[sz:]
+	codes, err := DecodeBitPacked(data[:pl])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		if c < 0 || c >= int64(len(dict)) {
+			return nil, fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
+		}
+		out[i] = dict[c]
+	}
+	return out, nil
+}
+
+// EncodePlainStrings stores strings as length-prefixed bytes, the fallback
+// when dictionary encoding would not pay off.
+func EncodePlainStrings(vals []string) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	for _, s := range vals {
+		out = putUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// DecodePlainStrings reverses EncodePlainStrings.
+func DecodePlainStrings(data []byte) ([]string, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad string count", ErrCorrupt)
+	}
+	data = data[sz:]
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < l {
+			return nil, fmt.Errorf("%w: truncated string", ErrCorrupt)
+		}
+		data = data[sz:]
+		out = append(out, string(data[:l]))
+		data = data[l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package encoding implements the on-disk and on-wire codecs the engine
+// uses: lightweight integer encodings (RLE, delta+varint, frame-of-
+// reference bit-packing), dictionary encoding for strings, a byte-oriented
+// LZ compressor, checksums, and a self-describing encoded-column format
+// with min/max statistics for zone-map pruning.
+//
+// The paper (Sections 1 and 2.2) stresses that cloud query plans must
+// treat compression, decoding and format transformation as first-class
+// operators along the data path; these codecs are those operators'
+// substrate.
+package encoding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is returned when encoded data fails structural validation or
+// checksum verification.
+var ErrCorrupt = errors.New("encoding: corrupt data")
+
+// zigzag maps signed integers to unsigned so that small negative values
+// get short varints.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// putUvarint appends a varint to dst.
+func putUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// EncodeDeltaVarint encodes int64 values as zigzag varints of consecutive
+// deltas. Sorted or slowly varying columns (timestamps, surrogate keys)
+// compress to a byte or two per value.
+func EncodeDeltaVarint(vals []int64) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	prev := int64(0)
+	for _, v := range vals {
+		out = putUvarint(out, zigzag(v-prev))
+		prev = v
+	}
+	return out
+}
+
+// DecodeDeltaVarint reverses EncodeDeltaVarint.
+func DecodeDeltaVarint(data []byte) ([]int64, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad delta-varint count", ErrCorrupt)
+	}
+	data = data[sz:]
+	out := make([]int64, 0, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		u, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: truncated delta-varint stream", ErrCorrupt)
+		}
+		data = data[sz:]
+		prev += unzigzag(u)
+		out = append(out, prev)
+	}
+	return out, nil
+}
+
+// EncodeRLEInt64 run-length encodes int64 values as (value, runLength)
+// pairs of varints. Low-cardinality or sorted columns benefit.
+func EncodeRLEInt64(vals []int64) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		out = putUvarint(out, zigzag(vals[i]))
+		out = putUvarint(out, uint64(j-i))
+		i = j
+	}
+	return out
+}
+
+// DecodeRLEInt64 reverses EncodeRLEInt64.
+func DecodeRLEInt64(data []byte) ([]int64, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad RLE count", ErrCorrupt)
+	}
+	data = data[sz:]
+	out := make([]int64, 0, n)
+	for uint64(len(out)) < n {
+		u, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: truncated RLE value", ErrCorrupt)
+		}
+		data = data[sz:]
+		run, sz := binary.Uvarint(data)
+		if sz <= 0 || run == 0 {
+			return nil, fmt.Errorf("%w: truncated RLE run", ErrCorrupt)
+		}
+		data = data[sz:]
+		if uint64(len(out))+run > n {
+			return nil, fmt.Errorf("%w: RLE run overflows count", ErrCorrupt)
+		}
+		v := unzigzag(u)
+		for k := uint64(0); k < run; k++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// EncodeBitPacked encodes int64 values with frame-of-reference plus
+// fixed-width bit packing: each value is stored as (v - min) in the
+// minimum number of bits needed for (max - min).
+func EncodeBitPacked(vals []int64) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	if len(vals) == 0 {
+		return out
+	}
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	width := bitsFor(uint64(maxV) - uint64(minV))
+	// Widths above 56 bits cannot be streamed through a 64-bit
+	// accumulator without overflow and save little anyway; store those
+	// byte-aligned.
+	if width > 56 {
+		width = 64
+	}
+	out = putUvarint(out, zigzag(minV))
+	out = append(out, byte(width))
+	if width == 0 {
+		return out // all values equal min
+	}
+	if width == 64 {
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v)-uint64(minV))
+		}
+		return out
+	}
+	var acc uint64
+	var nbits uint
+	for _, v := range vals {
+		d := uint64(v) - uint64(minV)
+		acc |= d << nbits
+		nbits += uint(width)
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+// DecodeBitPacked reverses EncodeBitPacked.
+func DecodeBitPacked(data []byte) ([]int64, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad bit-packed count", ErrCorrupt)
+	}
+	data = data[sz:]
+	if n == 0 {
+		return []int64{}, nil
+	}
+	mz, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad bit-packed min", ErrCorrupt)
+	}
+	data = data[sz:]
+	minV := unzigzag(mz)
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: missing bit width", ErrCorrupt)
+	}
+	width := uint(data[0])
+	data = data[1:]
+	if width > 64 {
+		return nil, fmt.Errorf("%w: bit width %d > 64", ErrCorrupt, width)
+	}
+	out := make([]int64, 0, n)
+	if width == 0 {
+		for i := uint64(0); i < n; i++ {
+			out = append(out, minV)
+		}
+		return out, nil
+	}
+	if width == 64 {
+		if uint64(len(data)) < n*8 {
+			return nil, fmt.Errorf("%w: bit-packed data truncated", ErrCorrupt)
+		}
+		for i := uint64(0); i < n; i++ {
+			d := binary.LittleEndian.Uint64(data[i*8:])
+			out = append(out, int64(uint64(minV)+d))
+		}
+		return out, nil
+	}
+	if width > 56 {
+		return nil, fmt.Errorf("%w: unsupported bit width %d", ErrCorrupt, width)
+	}
+	need := (n*uint64(width) + 7) / 8
+	if uint64(len(data)) < need {
+		return nil, fmt.Errorf("%w: bit-packed data truncated", ErrCorrupt)
+	}
+	var acc uint64
+	var nbits uint
+	pos := 0
+	mask := uint64(1)<<width - 1
+	for i := uint64(0); i < n; i++ {
+		for nbits < width {
+			acc |= uint64(data[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		out = append(out, minV+int64(acc&mask))
+		acc >>= width
+		nbits -= width
+	}
+	return out, nil
+}
+
+// bitsFor reports the number of bits needed to represent v.
+func bitsFor(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// EncodeFloat64s stores floats as little-endian IEEE 754 bits.
+func EncodeFloat64s(vals []float64) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s reverses EncodeFloat64s.
+func DecodeFloat64s(data []byte) ([]float64, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad float count", ErrCorrupt)
+	}
+	data = data[sz:]
+	if uint64(len(data)) < n*8 {
+		return nil, fmt.Errorf("%w: float data truncated", ErrCorrupt)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out, nil
+}
+
+// EncodeBools packs booleans into a bitmap.
+func EncodeBools(vals []bool) []byte {
+	out := putUvarint(nil, uint64(len(vals)))
+	var cur byte
+	var nbits uint
+	for _, v := range vals {
+		if v {
+			cur |= 1 << nbits
+		}
+		nbits++
+		if nbits == 8 {
+			out = append(out, cur)
+			cur, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// DecodeBools reverses EncodeBools.
+func DecodeBools(data []byte) ([]bool, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad bool count", ErrCorrupt)
+	}
+	data = data[sz:]
+	if uint64(len(data)) < (n+7)/8 {
+		return nil, fmt.Errorf("%w: bool data truncated", ErrCorrupt)
+	}
+	out := make([]bool, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = data[i>>3]&(1<<(i&7)) != 0
+	}
+	return out, nil
+}

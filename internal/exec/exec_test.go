@@ -1,0 +1,438 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/flow"
+)
+
+func kvSchema() *columnar.Schema {
+	return columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "v", Type: columnar.Int64},
+	)
+}
+
+func kvBatch(ks, vs []int64) *columnar.Batch {
+	return columnar.BatchOf(kvSchema(), columnar.FromInt64s(ks), columnar.FromInt64s(vs))
+}
+
+// runStage drives a stage with the given batches and collects output.
+func runStage(t *testing.T, s flow.Stage, in ...*columnar.Batch) []*columnar.Batch {
+	t.Helper()
+	var out []*columnar.Batch
+	emit := func(b *columnar.Batch) error { out = append(out, b); return nil }
+	for _, b := range in {
+		if err := s.Process(b, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func allRows(batches []*columnar.Batch) [][]columnar.Value {
+	var rows [][]columnar.Value
+	for _, b := range batches {
+		for i := 0; i < b.NumRows(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+	return rows
+}
+
+func TestFilterStage(t *testing.T) {
+	s := &FilterStage{Pred: expr.NewCmp(1, expr.Ge, columnar.IntValue(20))}
+	out := runStage(t, s,
+		kvBatch([]int64{1, 2, 3}, []int64{10, 20, 30}),
+		kvBatch([]int64{4}, []int64{5}), // fully filtered: emits nothing
+	)
+	rows := allRows(out)
+	if len(rows) != 2 || rows[0][0].I != 2 || rows[1][0].I != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+	if s.Name() == "" {
+		t.Error("empty Name")
+	}
+}
+
+func TestProjectStage(t *testing.T) {
+	out := runStage(t, &ProjectStage{Columns: []int{1}},
+		kvBatch([]int64{1}, []int64{10}))
+	if out[0].NumCols() != 1 || out[0].Schema().Fields[0].Name != "v" {
+		t.Errorf("schema = %s", out[0].Schema())
+	}
+}
+
+func TestHashStageAppendsConsistentHashes(t *testing.T) {
+	out := runStage(t, &HashStage{KeyCol: 0},
+		kvBatch([]int64{7, 7, 8}, []int64{1, 2, 3}))
+	b := out[0]
+	if b.NumCols() != 3 || b.Schema().Fields[2].Name != "hash" {
+		t.Fatalf("schema = %s", b.Schema())
+	}
+	h := b.Col(2).Int64s()
+	if h[0] != h[1] {
+		t.Error("equal keys hashed differently")
+	}
+	if h[0] == h[2] {
+		t.Error("different keys collided (suspicious)")
+	}
+	// The appended hash matches HashValue with the join seed: the
+	// receiving NIC pre-computes exactly what the join would.
+	want := int64(HashValue(b.Col(0), 0, SeedJoin))
+	if h[0] != want {
+		t.Errorf("hash = %d, want %d", h[0], want)
+	}
+}
+
+func TestCountStage(t *testing.T) {
+	out := runStage(t, &CountStage{},
+		kvBatch([]int64{1, 2}, []int64{1, 2}),
+		kvBatch([]int64{3}, []int64{3}))
+	if len(out) != 1 || out[0].NumRows() != 1 {
+		t.Fatalf("output shape wrong")
+	}
+	if got := out[0].Col(0).Int64s()[0]; got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+func TestPreAggThenFinalStage(t *testing.T) {
+	spec := expr.GroupBy{GroupCols: []int{0}, Aggs: []expr.AggSpec{{Func: expr.Count}, {Func: expr.Sum, Col: 1}}}
+	pre := &PreAggStage{Agg: expr.NewPartialAggregator(spec, kvSchema(), 2), Raw: true}
+	partials := runStage(t, pre,
+		kvBatch([]int64{1, 2, 3, 1}, []int64{10, 20, 30, 40}),
+		kvBatch([]int64{2, 4}, []int64{50, 60}))
+
+	final := &FinalAggStage{Agg: expr.NewFinalAggregator(spec, kvSchema()), Raw: false}
+	results := runStage(t, final, partials...)
+	if len(results) != 1 {
+		t.Fatalf("final emitted %d batches", len(results))
+	}
+	res := results[0]
+	if res.NumRows() != 4 {
+		t.Fatalf("groups = %d, want 4", res.NumRows())
+	}
+	sums := map[int64]int64{}
+	for i := 0; i < res.NumRows(); i++ {
+		sums[res.Col(0).Int64s()[i]] = res.Col(2).Int64s()[i]
+	}
+	want := map[int64]int64{1: 50, 2: 70, 3: 30, 4: 60}
+	for k, w := range want {
+		if sums[k] != w {
+			t.Errorf("sum[%d] = %d, want %d", k, sums[k], w)
+		}
+	}
+}
+
+func TestTopKStage(t *testing.T) {
+	s := &TopKStage{K: 3, ByCol: 1}
+	out := runStage(t, s,
+		kvBatch([]int64{1, 2, 3, 4, 5}, []int64{50, 10, 90, 20, 70}),
+		kvBatch([]int64{6}, []int64{80}))
+	rows := allRows(out)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	wantKeys := []int64{3, 6, 5} // by v: 90, 80, 70
+	for i, w := range wantKeys {
+		if rows[i][0].I != w {
+			t.Errorf("top-%d key = %d, want %d", i, rows[i][0].I, w)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	out := runStage(t, &TopKStage{K: 10, ByCol: 1},
+		kvBatch([]int64{1, 2}, []int64{5, 9}))
+	if len(allRows(out)) != 2 {
+		t.Error("top-k with short input lost rows")
+	}
+}
+
+func TestSortStage(t *testing.T) {
+	schema := kvSchema()
+	b := columnar.NewBatch(schema, 4)
+	b.AppendRow(columnar.IntValue(3), columnar.IntValue(30))
+	b.AppendRow(columnar.NullValue(columnar.Int64), columnar.IntValue(0))
+	b.AppendRow(columnar.IntValue(1), columnar.IntValue(10))
+	out := runStage(t, &SortStage{ByCol: 0}, b, kvBatch([]int64{2}, []int64{20}))
+	rows := allRows(out)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[0][0].Null {
+		t.Error("NULL not first")
+	}
+	for i, w := range []int64{1, 2, 3} {
+		if rows[i+1][0].I != w {
+			t.Errorf("row %d key = %v, want %d", i+1, rows[i+1][0], w)
+		}
+	}
+}
+
+func TestLimitStage(t *testing.T) {
+	out := runStage(t, &LimitStage{N: 4},
+		kvBatch([]int64{1, 2, 3}, []int64{1, 2, 3}),
+		kvBatch([]int64{4, 5, 6}, []int64{4, 5, 6}),
+		kvBatch([]int64{7}, []int64{7}))
+	if n := len(allRows(out)); n != 4 {
+		t.Errorf("rows = %d, want 4", n)
+	}
+}
+
+func TestHashTableBuildProbe(t *testing.T) {
+	build := kvBatch([]int64{1, 2, 2}, []int64{100, 200, 201})
+	table := NewHashTable(kvSchema(), 0)
+	table.Build(build)
+	if table.Rows() != 3 {
+		t.Errorf("Rows = %d", table.Rows())
+	}
+	probeSchema := columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "x", Type: columnar.String},
+	)
+	probe := columnar.BatchOf(probeSchema,
+		columnar.FromInt64s([]int64{2, 3, 1}),
+		columnar.FromStrings([]string{"a", "b", "c"}))
+	out := table.Probe(probe, 0)
+	// k=2 matches 2 build rows, k=3 none, k=1 one: 3 output rows.
+	if out.NumRows() != 3 {
+		t.Fatalf("joined rows = %d, want 3", out.NumRows())
+	}
+	// Output schema: probe(k,x) then build(k->r_k, v).
+	names := []string{"k", "x", "r_k", "v"}
+	for i, n := range names {
+		if out.Schema().Fields[i].Name != n {
+			t.Errorf("field %d = %s, want %s", i, out.Schema().Fields[i].Name, n)
+		}
+	}
+	// Verify a joined value pair.
+	for i := 0; i < out.NumRows(); i++ {
+		if out.Col(0).Int64s()[i] != out.Col(2).Int64s()[i] {
+			t.Error("join key mismatch in output")
+		}
+	}
+}
+
+func TestHashTableNullKeysNeverMatch(t *testing.T) {
+	schema := kvSchema()
+	build := columnar.NewBatch(schema, 2)
+	build.AppendRow(columnar.NullValue(columnar.Int64), columnar.IntValue(1))
+	build.AppendRow(columnar.IntValue(5), columnar.IntValue(2))
+	table := NewHashTable(schema, 0)
+	table.Build(build)
+	if table.Rows() != 1 {
+		t.Errorf("null build key inserted")
+	}
+	probe := columnar.NewBatch(schema, 1)
+	probe.AppendRow(columnar.NullValue(columnar.Int64), columnar.IntValue(9))
+	if out := table.Probe(probe, 0); out.NumRows() != 0 {
+		t.Error("null probe key matched")
+	}
+}
+
+func TestHashTableStringKeys(t *testing.T) {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "name", Type: columnar.String},
+		columnar.Field{Name: "v", Type: columnar.Int64})
+	build := columnar.BatchOf(schema,
+		columnar.FromStrings([]string{"x", "y"}),
+		columnar.FromInt64s([]int64{1, 2}))
+	table := NewHashTable(schema, 0)
+	table.Build(build)
+	probe := columnar.BatchOf(schema,
+		columnar.FromStrings([]string{"y", "z"}),
+		columnar.FromInt64s([]int64{0, 0}))
+	out := table.Probe(probe, 0)
+	if out.NumRows() != 1 || out.Col(3).Int64s()[0] != 2 {
+		t.Errorf("string join wrong: %d rows", out.NumRows())
+	}
+}
+
+func TestHashJoinStageAndBuildStage(t *testing.T) {
+	table := NewHashTable(kvSchema(), 0)
+	buildStage := &BuildStage{Table: table}
+	runStage(t, buildStage, kvBatch([]int64{1, 2}, []int64{10, 20}))
+	join := &HashJoinStage{Table: table, ProbeKey: 0}
+	out := runStage(t, join,
+		kvBatch([]int64{2, 9}, []int64{0, 0}),
+		kvBatch([]int64{9}, []int64{0})) // no matches: no emission
+	rows := allRows(out)
+	if len(rows) != 1 || rows[0][3].I != 20 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestVolcanoPipelineEquivalence(t *testing.T) {
+	// The same query through both models must agree:
+	// SELECT k, COUNT(*), SUM(v) FROM t WHERE v >= 10 GROUP BY k.
+	ks := []int64{1, 2, 1, 3, 2, 1, 3, 3}
+	vs := []int64{5, 20, 30, 40, 8, 50, 60, 9}
+	pred := expr.NewCmp(1, expr.Ge, columnar.IntValue(10))
+	spec := expr.GroupBy{GroupCols: []int{0}, Aggs: []expr.AggSpec{{Func: expr.Count}, {Func: expr.Sum, Col: 1}}}
+
+	// Volcano.
+	var it Iterator = NewSliceScan(kvSchema(), []*columnar.Batch{kvBatch(ks[:4], vs[:4]), kvBatch(ks[4:], vs[4:])})
+	it = &FilterIter{In: it, Pred: pred}
+	it = &AggIter{In: it, Spec: spec}
+	volcanoOut, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Push pipeline.
+	p := &flow.Pipeline{
+		Name: "push",
+		Source: func(emit flow.Emit) error {
+			if err := emit(kvBatch(ks[:4], vs[:4])); err != nil {
+				return err
+			}
+			return emit(kvBatch(ks[4:], vs[4:]))
+		},
+		Stages: []flow.Placed{
+			{Stage: &FilterStage{Pred: pred}},
+			{Stage: &FinalAggStage{Agg: expr.NewFinalAggregator(spec, kvSchema()), Raw: true}},
+		},
+	}
+	var pushOut []*columnar.Batch
+	if _, err := p.Run(func(b *columnar.Batch) error { pushOut = append(pushOut, b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	vr := allRows(volcanoOut)
+	pr := allRows(pushOut)
+	if len(vr) != len(pr) {
+		t.Fatalf("row counts differ: %d vs %d", len(vr), len(pr))
+	}
+	for i := range vr {
+		for c := range vr[i] {
+			if !vr[i][c].Equal(pr[i][c]) {
+				t.Errorf("row %d col %d: %v vs %v", i, c, vr[i][c], pr[i][c])
+			}
+		}
+	}
+}
+
+func TestVolcanoJoin(t *testing.T) {
+	build := NewSliceScan(kvSchema(), []*columnar.Batch{kvBatch([]int64{1, 2}, []int64{100, 200})})
+	probe := NewSliceScan(kvSchema(), []*columnar.Batch{kvBatch([]int64{2, 2, 3}, []int64{1, 2, 3})})
+	it := &HashJoinIter{Build: build, Probe: probe, BuildKey: 0, ProbeKey: 0}
+	out, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 2 {
+		t.Fatalf("joined rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r[3].I != 200 {
+			t.Errorf("joined build value = %v", r[3])
+		}
+	}
+}
+
+func TestVolcanoSortLimit(t *testing.T) {
+	scan := NewSliceScan(kvSchema(), []*columnar.Batch{kvBatch([]int64{3, 1, 2}, []int64{0, 0, 0})})
+	it := &LimitIter{In: &SortIter{In: scan, ByCol: 0}, N: 2}
+	out, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(out)
+	if len(rows) != 2 || rows[0][0].I != 1 || rows[1][0].I != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestFuncScan(t *testing.T) {
+	n := 0
+	it := NewFuncScan(kvSchema(), func() (*columnar.Batch, error) {
+		if n >= 2 {
+			return nil, nil
+		}
+		n++
+		return kvBatch([]int64{int64(n)}, []int64{0}), nil
+	})
+	out, err := Drain(it)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("FuncScan drained %d batches, err %v", len(out), err)
+	}
+}
+
+func TestPartitionOfRange(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		counts := make([]int, n)
+		for i := 0; i < 10000; i++ {
+			p := PartitionOf(mix64(uint64(i)), n)
+			if p < 0 || p >= n {
+				t.Fatalf("partition %d out of [0,%d)", p, n)
+			}
+			counts[p]++
+		}
+		// Balance within 3x of ideal for n <= 17.
+		for p, c := range counts {
+			if c > 3*10000/n+10 {
+				t.Errorf("n=%d partition %d got %d of 10000", n, p, c)
+			}
+		}
+	}
+}
+
+// Property: HashValue is deterministic and respects equality for int64.
+func TestHashValueProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		col := columnar.FromInt64s([]int64{a, b, a})
+		h0 := HashValue(col, 0, SeedJoin)
+		h1 := HashValue(col, 1, SeedJoin)
+		h2 := HashValue(col, 2, SeedJoin)
+		if h0 != h2 {
+			return false
+		}
+		if a != b && h0 == h1 {
+			// 64-bit collision: astronomically unlikely for quick's
+			// inputs; treat as failure.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: join output row count equals the sum over probe rows of
+// build-side multiplicity.
+func TestJoinCardinalityProperty(t *testing.T) {
+	f := func(buildKeys, probeKeys []uint8) bool {
+		if len(buildKeys) == 0 {
+			buildKeys = []uint8{0}
+		}
+		bk := make([]int64, len(buildKeys))
+		mult := map[int64]int{}
+		for i, k := range buildKeys {
+			bk[i] = int64(k % 16)
+			mult[bk[i]]++
+		}
+		pk := make([]int64, len(probeKeys))
+		want := 0
+		for i, k := range probeKeys {
+			pk[i] = int64(k % 16)
+			want += mult[pk[i]]
+		}
+		table := NewHashTable(kvSchema(), 0)
+		table.Build(kvBatch(bk, make([]int64, len(bk))))
+		out := table.Probe(kvBatch(pk, make([]int64, len(pk))), 0)
+		return out.NumRows() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+// rowRef addresses one row of one retained build batch.
+type rowRef struct {
+	batch int32
+	row   int32
+}
+
+// HashTable is the shared equi-join core used by both execution models.
+// It supports BIGINT and VARCHAR keys; NULL keys never match (SQL
+// semantics).
+type HashTable struct {
+	schema *columnar.Schema
+	keyCol int
+
+	intMap  map[int64][]rowRef
+	strMap  map[string][]rowRef
+	batches []*columnar.Batch
+	rows    int64
+}
+
+// NewHashTable builds an empty join table over build-side batches with
+// the given schema, keyed on keyCol.
+func NewHashTable(schema *columnar.Schema, keyCol int) *HashTable {
+	t := &HashTable{schema: schema, keyCol: keyCol}
+	switch schema.Fields[keyCol].Type {
+	case columnar.Int64:
+		t.intMap = make(map[int64][]rowRef)
+	case columnar.String:
+		t.strMap = make(map[string][]rowRef)
+	default:
+		panic(fmt.Sprintf("exec: join key type %v unsupported", schema.Fields[keyCol].Type))
+	}
+	return t
+}
+
+// Build inserts all rows of a build-side batch.
+func (t *HashTable) Build(b *columnar.Batch) {
+	bi := int32(len(t.batches))
+	t.batches = append(t.batches, b)
+	col := b.Col(t.keyCol)
+	for i := 0; i < b.NumRows(); i++ {
+		if col.IsNull(i) {
+			continue
+		}
+		ref := rowRef{batch: bi, row: int32(i)}
+		if t.intMap != nil {
+			k := col.Int64s()[i]
+			t.intMap[k] = append(t.intMap[k], ref)
+		} else {
+			k := col.Strings()[i]
+			t.strMap[k] = append(t.strMap[k], ref)
+		}
+		t.rows++
+	}
+}
+
+// Rows reports the number of build rows inserted.
+func (t *HashTable) Rows() int64 { return t.rows }
+
+// MemBytes approximates the table's memory footprint, used for the
+// "small table fits on the NIC" placement decision (Section 4.4).
+func (t *HashTable) MemBytes() sim.Bytes {
+	var n sim.Bytes
+	for _, b := range t.batches {
+		n += sim.Bytes(b.ByteSize())
+	}
+	// Hash entries: ~24 bytes each.
+	n += sim.Bytes(t.rows * 24)
+	return n
+}
+
+// OutputSchema reports the schema of probe results for the given probe
+// schema: probe columns then build columns (renamed on collision).
+func (t *HashTable) OutputSchema(probe *columnar.Schema) *columnar.Schema {
+	return probe.Concat(t.schema)
+}
+
+// Probe matches one probe batch against the table and returns the joined
+// rows (inner join).
+func (t *HashTable) Probe(probe *columnar.Batch, probeKey int) *columnar.Batch {
+	out := columnar.NewBatch(t.OutputSchema(probe.Schema()), probe.NumRows())
+	col := probe.Col(probeKey)
+	for i := 0; i < probe.NumRows(); i++ {
+		if col.IsNull(i) {
+			continue
+		}
+		var refs []rowRef
+		if t.intMap != nil {
+			if col.Type() != columnar.Int64 {
+				panic("exec: probe key type mismatch (want BIGINT)")
+			}
+			refs = t.intMap[col.Int64s()[i]]
+		} else {
+			if col.Type() != columnar.String {
+				panic("exec: probe key type mismatch (want VARCHAR)")
+			}
+			refs = t.strMap[col.Strings()[i]]
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		probeRow := probe.Row(i)
+		for _, ref := range refs {
+			buildRow := t.batches[ref.batch].Row(int(ref.row))
+			out.AppendRow(append(append([]columnar.Value{}, probeRow...), buildRow...)...)
+		}
+	}
+	return out
+}
+
+// BuildStage accumulates build-side batches into a hash table; it is a
+// terminal stage (emits nothing), used to run the build side as its own
+// pipeline before probing starts.
+type BuildStage struct {
+	Table *HashTable
+}
+
+// Name implements flow.Stage.
+func (s *BuildStage) Name() string { return "join-build" }
+
+// Process implements flow.Stage.
+func (s *BuildStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	s.Table.Build(b)
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *BuildStage) Flush(flow.Emit) error { return nil }
+
+// HashJoinStage probes a pre-built table with the streaming side,
+// emitting joined rows. With a small build table this stage can live on
+// a smart NIC (Section 4.4's join-on-the-NIC).
+type HashJoinStage struct {
+	Table    *HashTable
+	ProbeKey int
+}
+
+// Name implements flow.Stage.
+func (s *HashJoinStage) Name() string { return fmt.Sprintf("hashjoin(col%d)", s.ProbeKey) }
+
+// Process implements flow.Stage.
+func (s *HashJoinStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	out := s.Table.Probe(b, s.ProbeKey)
+	if out.NumRows() == 0 {
+		return nil
+	}
+	return emit(out)
+}
+
+// Flush implements flow.Stage.
+func (s *HashJoinStage) Flush(flow.Emit) error { return nil }

@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/flow"
+)
+
+// FilterStage drops rows failing the predicate. Stateless: placeable on
+// any device that supports OpFilter.
+type FilterStage struct {
+	Pred expr.Predicate
+}
+
+// Name implements flow.Stage.
+func (s *FilterStage) Name() string { return "filter(" + s.Pred.String() + ")" }
+
+// Process implements flow.Stage.
+func (s *FilterStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	out := b.Filter(s.Pred.Eval(b))
+	if out.NumRows() == 0 {
+		return nil
+	}
+	return emit(out)
+}
+
+// Flush implements flow.Stage.
+func (s *FilterStage) Flush(flow.Emit) error { return nil }
+
+// ProjectStage keeps only the listed columns. Stateless.
+type ProjectStage struct {
+	Columns []int
+}
+
+// Name implements flow.Stage.
+func (s *ProjectStage) Name() string { return fmt.Sprintf("project%v", s.Columns) }
+
+// Process implements flow.Stage.
+func (s *ProjectStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	return emit(b.Project(s.Columns))
+}
+
+// Flush implements flow.Stage.
+func (s *ProjectStage) Flush(flow.Emit) error { return nil }
+
+// HashStage appends a BIGINT "hash" column computed from KeyCol — the
+// receiving-NIC hashing of Figure 3, which pre-computes the hash the
+// compute node's join or aggregation would otherwise do.
+type HashStage struct {
+	KeyCol int
+	Seed   hashSeed
+}
+
+// Name implements flow.Stage.
+func (s *HashStage) Name() string { return fmt.Sprintf("hash(col%d)", s.KeyCol) }
+
+// Process implements flow.Stage.
+func (s *HashStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	seed := s.Seed
+	if seed == 0 {
+		seed = SeedJoin
+	}
+	hashes := HashColumn(b.Col(s.KeyCol), seed, nil)
+	vals := make([]int64, len(hashes))
+	for i, h := range hashes {
+		vals[i] = int64(h)
+	}
+	outSchema := b.Schema().Concat(columnar.NewSchema(columnar.Field{Name: "hash", Type: columnar.Int64}))
+	cols := make([]*columnar.Vector, b.NumCols()+1)
+	for i := 0; i < b.NumCols(); i++ {
+		cols[i] = b.Col(i)
+	}
+	cols[b.NumCols()] = columnar.FromInt64s(vals)
+	return emit(columnar.BatchOf(outSchema, cols...))
+}
+
+// Flush implements flow.Stage.
+func (s *HashStage) Flush(flow.Emit) error { return nil }
+
+// PreAggStage hosts a bounded-state partial aggregation (Section 4.4).
+// Raw determines whether the input is raw rows or upstream partials;
+// either way the output is partial batches, so stages chain.
+type PreAggStage struct {
+	Agg *expr.PartialAggregator
+	Raw bool
+}
+
+// Name implements flow.Stage.
+func (s *PreAggStage) Name() string {
+	kind := "merge"
+	if s.Raw {
+		kind = "raw"
+	}
+	return fmt.Sprintf("preagg(%s,budget=%d)", kind, s.Agg.MaxGroups)
+}
+
+// Process implements flow.Stage.
+func (s *PreAggStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	var spills []*columnar.Batch
+	if s.Raw {
+		spills = s.Agg.AddRaw(b)
+	} else {
+		spills = s.Agg.AddPartial(b)
+	}
+	for _, spill := range spills {
+		if err := emit(spill); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *PreAggStage) Flush(emit flow.Emit) error {
+	if b := s.Agg.Flush(); b != nil {
+		return emit(b)
+	}
+	return nil
+}
+
+// FinalAggStage is the terminal aggregation on the compute node; it
+// consumes raw rows or partials and emits one result batch at flush.
+type FinalAggStage struct {
+	Agg *expr.FinalAggregator
+	Raw bool
+}
+
+// Name implements flow.Stage.
+func (s *FinalAggStage) Name() string { return "finalagg" }
+
+// Process implements flow.Stage.
+func (s *FinalAggStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	if s.Raw {
+		s.Agg.AddRaw(b)
+	} else {
+		s.Agg.AddPartial(b)
+	}
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *FinalAggStage) Flush(emit flow.Emit) error {
+	return emit(s.Agg.Result())
+}
+
+// CountStage counts rows and discards them, emitting a single-row result
+// at flush — the query the paper says a NIC can complete "without even
+// involving the CPU or transferring data to host memory" (Section 4.4).
+type CountStage struct {
+	count int64
+}
+
+// Name implements flow.Stage.
+func (s *CountStage) Name() string { return "count" }
+
+// Process implements flow.Stage.
+func (s *CountStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	s.count += int64(b.NumRows())
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *CountStage) Flush(emit flow.Emit) error {
+	schema := columnar.NewSchema(columnar.Field{Name: "count", Type: columnar.Int64})
+	return emit(columnar.BatchOf(schema, columnar.FromInt64s([]int64{s.count})))
+}
+
+// TopKStage retains the K largest values of ByCol (BIGINT) with their
+// rows, emitting them in descending order at flush.
+type TopKStage struct {
+	K     int
+	ByCol int
+
+	rows   []*columnar.Batch // single-row batches retained
+	keys   []int64
+	schema *columnar.Schema
+}
+
+// Name implements flow.Stage.
+func (s *TopKStage) Name() string { return fmt.Sprintf("top%d(col%d)", s.K, s.ByCol) }
+
+// Process implements flow.Stage.
+func (s *TopKStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	if s.schema == nil {
+		s.schema = b.Schema()
+	}
+	keyCol := b.Col(s.ByCol)
+	for i := 0; i < b.NumRows(); i++ {
+		if keyCol.IsNull(i) {
+			continue
+		}
+		k := keyCol.Int64s()[i]
+		if len(s.keys) >= s.K && k <= s.keys[len(s.keys)-1] {
+			continue
+		}
+		// Insert in descending order.
+		pos := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] < k })
+		s.keys = append(s.keys, 0)
+		copy(s.keys[pos+1:], s.keys[pos:])
+		s.keys[pos] = k
+		row := b.Slice(i, i+1)
+		s.rows = append(s.rows, nil)
+		copy(s.rows[pos+1:], s.rows[pos:])
+		s.rows[pos] = row
+		if len(s.keys) > s.K {
+			s.keys = s.keys[:s.K]
+			s.rows = s.rows[:s.K]
+		}
+	}
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *TopKStage) Flush(emit flow.Emit) error {
+	if s.schema == nil {
+		return nil
+	}
+	out := columnar.NewBatch(s.schema, len(s.rows))
+	for _, r := range s.rows {
+		out.AppendRow(r.Row(0)...)
+	}
+	return emit(out)
+}
+
+// SortStage buffers the whole stream and emits it sorted by ByCol
+// (BIGINT, ascending). Sorting is inherently blocking, which is why the
+// paper keeps it off the streaming path and on compute nodes.
+type SortStage struct {
+	ByCol int
+
+	buffered []*columnar.Batch
+}
+
+// Name implements flow.Stage.
+func (s *SortStage) Name() string { return fmt.Sprintf("sort(col%d)", s.ByCol) }
+
+// Process implements flow.Stage.
+func (s *SortStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	s.buffered = append(s.buffered, b)
+	return nil
+}
+
+// Flush implements flow.Stage.
+func (s *SortStage) Flush(emit flow.Emit) error {
+	if len(s.buffered) == 0 {
+		return nil
+	}
+	type ref struct {
+		batch *columnar.Batch
+		row   int
+		key   int64
+		null  bool
+	}
+	var refs []ref
+	for _, b := range s.buffered {
+		col := b.Col(s.ByCol)
+		for i := 0; i < b.NumRows(); i++ {
+			r := ref{batch: b, row: i}
+			if col.IsNull(i) {
+				r.null = true
+			} else {
+				r.key = col.Int64s()[i]
+			}
+			refs = append(refs, r)
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		if refs[i].null != refs[j].null {
+			return refs[i].null // NULLs first
+		}
+		return refs[i].key < refs[j].key
+	})
+	out := columnar.NewBatch(s.buffered[0].Schema(), len(refs))
+	for _, r := range refs {
+		out.AppendRow(r.batch.Row(r.row)...)
+	}
+	return emit(out)
+}
+
+// LimitStage forwards at most N rows.
+type LimitStage struct {
+	N    int
+	seen int
+}
+
+// Name implements flow.Stage.
+func (s *LimitStage) Name() string { return fmt.Sprintf("limit(%d)", s.N) }
+
+// Process implements flow.Stage.
+func (s *LimitStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	if s.seen >= s.N {
+		return nil
+	}
+	remain := s.N - s.seen
+	if b.NumRows() > remain {
+		b = b.Slice(0, remain)
+	}
+	s.seen += b.NumRows()
+	return emit(b)
+}
+
+// Flush implements flow.Stage.
+func (s *LimitStage) Flush(flow.Emit) error { return nil }
+
+// CompressStage re-encodes batches for the wire and DecompressStage
+// restores them; together they model the compression/encryption steps
+// the paper says cloud query plans must include (Section 1). Data is
+// passed through unchanged — the devices are charged by the runtime —
+// but the pair exists so plans can represent the step explicitly.
+type CompressStage struct{}
+
+// Name implements flow.Stage.
+func (s *CompressStage) Name() string { return "compress" }
+
+// Process implements flow.Stage.
+func (s *CompressStage) Process(b *columnar.Batch, emit flow.Emit) error { return emit(b) }
+
+// Flush implements flow.Stage.
+func (s *CompressStage) Flush(flow.Emit) error { return nil }

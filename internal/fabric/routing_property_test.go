@@ -1,0 +1,89 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Property: on random connected topologies, Path returns a well-formed
+// route — it starts at the source, ends at the destination, consecutive
+// links share endpoints, and no link repeats.
+func TestPathWellFormedProperty(t *testing.T) {
+	f := func(seed uint64, extraEdges uint8) bool {
+		rng := sim.NewRNG(seed)
+		const n = 12
+		top := NewTopology("random")
+		for i := 0; i < n; i++ {
+			top.AddDevice(NewMemory(fmt.Sprintf("d%d", i)))
+		}
+		// Spanning chain guarantees connectivity.
+		for i := 1; i < n; i++ {
+			top.Connect(fmt.Sprintf("d%d", i-1), fmt.Sprintf("d%d", i),
+				LinkDDR, sim.GBPerSec, sim.Microsecond)
+		}
+		// Random extra edges.
+		for e := 0; e < int(extraEdges%20); e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			top.Connect(fmt.Sprintf("d%d", a), fmt.Sprintf("d%d", b),
+				LinkPCIe4, 2*sim.GBPerSec, sim.Microsecond)
+		}
+		src := fmt.Sprintf("d%d", rng.Intn(n))
+		dst := fmt.Sprintf("d%d", rng.Intn(n))
+		path, err := top.Path(src, dst)
+		if err != nil {
+			return false
+		}
+		if src == dst {
+			return len(path) == 0
+		}
+		seen := map[string]bool{}
+		at := src
+		for _, l := range path {
+			next := l.Other(at)
+			if next == "" || seen[l.Name] {
+				return false
+			}
+			seen[l.Name] = true
+			at = next
+		}
+		return at == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the shortest path never exceeds the spanning-chain distance.
+func TestPathNoLongerThanChainProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		const n = 10
+		top := NewTopology("chain")
+		for i := 0; i < n; i++ {
+			top.AddDevice(NewMemory(fmt.Sprintf("d%d", i)))
+		}
+		for i := 1; i < n; i++ {
+			top.Connect(fmt.Sprintf("d%d", i-1), fmt.Sprintf("d%d", i),
+				LinkDDR, sim.GBPerSec, 0)
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		path, err := top.Path(fmt.Sprintf("d%d", a), fmt.Sprintf("d%d", b))
+		if err != nil {
+			return false
+		}
+		dist := a - b
+		if dist < 0 {
+			dist = -dist
+		}
+		return len(path) == dist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/columnar"
+)
+
+// Property: any chain of passthrough stages conserves rows and values in
+// order, for arbitrary batch size sequences and queue depths.
+func TestPipelineRowConservationProperty(t *testing.T) {
+	f := func(batchSizes []uint8, depthRaw, stagesRaw uint8) bool {
+		depth := 1 + int(depthRaw)%16
+		nStages := 1 + int(stagesRaw)%5
+		var want []int64
+		next := int64(0)
+		src := func(emit Emit) error {
+			for _, szRaw := range batchSizes {
+				sz := 1 + int(szRaw)%50
+				vals := make([]int64, sz)
+				for i := range vals {
+					vals[i] = next
+					want = append(want, next)
+					next++
+				}
+				if err := emit(intBatch(vals...)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		stages := make([]Placed, nStages)
+		for i := range stages {
+			stages[i] = Placed{Stage: &passStage{name: "p"}}
+		}
+		p := &Pipeline{Name: "prop", Source: src, Stages: stages, Depth: depth}
+		var got []int64
+		if _, err := p.Run(func(b *columnar.Batch) error {
+			got = append(got, b.Col(0).Int64s()...)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: port accounting matches the data that flowed — data messages
+// equal source batches at every port of a passthrough chain.
+func TestPipelineMessageAccountingProperty(t *testing.T) {
+	f := func(nBatches uint8, depthRaw uint8) bool {
+		n := 1 + int(nBatches)%100
+		depth := 2 + int(depthRaw)%8
+		p := &Pipeline{
+			Name:   "acct",
+			Source: nBatchSource(n, 1),
+			Stages: []Placed{{Stage: &passStage{name: "a"}}, {Stage: &passStage{name: "b"}}},
+			Depth:  depth,
+		}
+		res, err := p.Run(func(*columnar.Batch) error { return nil })
+		if err != nil {
+			return false
+		}
+		for _, ps := range res.Ports {
+			if ps.DataMessages != int64(n) {
+				return false
+			}
+			if ps.CreditMessages <= 0 || ps.CreditMessages > ps.DataMessages {
+				return false
+			}
+		}
+		return res.SinkBatches == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

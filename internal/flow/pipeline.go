@@ -1,0 +1,218 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/columnar"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Emit delivers one batch downstream. It is only valid for the duration
+// of the Process or Flush call it was passed to.
+type Emit func(*columnar.Batch) error
+
+// Stage is one push-based operator. A stage is driven by the runtime:
+// Process is called once per input batch and may emit any number of
+// output batches; Flush is called once at end-of-stream to drain
+// retained state.
+type Stage interface {
+	Name() string
+	Process(b *columnar.Batch, emit Emit) error
+	Flush(emit Emit) error
+}
+
+// Source produces the pipeline's input batches (e.g. a storage scan).
+// It must stop and return promptly when emit returns an error.
+type Source func(emit Emit) error
+
+// Placed binds a stage to the device that hosts it. The runtime charges
+// the device Op per input byte (when ChargeInput) and one kernel setup
+// when the stream starts, modelling Section 7.2's register-programmed
+// accelerators.
+type Placed struct {
+	Stage       Stage
+	Device      *fabric.Device
+	Op          fabric.OpClass
+	ChargeInput bool
+}
+
+// Pipeline is a linear chain: Source -> stage[0] -> ... -> stage[n-1] ->
+// sink. Ports between consecutive elements carry the traffic across the
+// fabric paths given in Paths.
+type Pipeline struct {
+	Name   string
+	Source Source
+	Stages []Placed
+	// Paths[i] lists the links crossed between element i-1 and element
+	// i's device (Paths[0] = source->stage0). Its length must equal
+	// len(Stages); missing entries mean on-device handoff.
+	Paths [][]*fabric.Link
+	// Depth is the per-port queue depth (credits); default 8.
+	Depth int
+	// CreditBatch is how many credits accumulate before one return
+	// message; default Depth/2.
+	CreditBatch int
+}
+
+// Result reports what a pipeline run did.
+type Result struct {
+	Ports       []PortStats
+	BatchesIn   []int64 // per stage
+	BatchesOut  []int64 // per stage
+	SinkBatches int64
+	SinkRows    int64
+	SinkBytes   sim.Bytes
+}
+
+// TotalDataMessages sums data messages over all ports.
+func (r Result) TotalDataMessages() int64 {
+	var n int64
+	for _, p := range r.Ports {
+		n += p.DataMessages
+	}
+	return n
+}
+
+// TotalCreditMessages sums credit messages over all ports.
+func (r Result) TotalCreditMessages() int64 {
+	var n int64
+	for _, p := range r.Ports {
+		n += p.CreditMessages
+	}
+	return n
+}
+
+// Run executes the pipeline, delivering final batches to sink (called
+// from a single goroutine). It returns when every stage has flushed or
+// any element failed.
+func (p *Pipeline) Run(sink Emit) (Result, error) {
+	var res Result
+	if p.Source == nil {
+		return res, fmt.Errorf("flow: pipeline %q has no source", p.Name)
+	}
+	if len(p.Paths) != 0 && len(p.Paths) != len(p.Stages) {
+		return res, fmt.Errorf("flow: pipeline %q has %d paths for %d stages", p.Name, len(p.Paths), len(p.Stages))
+	}
+	depth := p.Depth
+	if depth <= 0 {
+		depth = 8
+	}
+	creditBatch := p.CreditBatch
+	if creditBatch <= 0 {
+		creditBatch = depth / 2
+	}
+
+	done := make(chan struct{})
+	var cancelOnce sync.Once
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		if err == nil || err == ErrCanceled {
+			return
+		}
+		errOnce.Do(func() { firstErr = err })
+		cancelOnce.Do(func() { close(done) })
+	}
+
+	ports := make([]*Port, len(p.Stages))
+	for i := range p.Stages {
+		var path []*fabric.Link
+		if len(p.Paths) > 0 {
+			path = p.Paths[i]
+		}
+		ports[i] = newPort(fmt.Sprintf("%s.port%d", p.Name, i), path, depth, creditBatch, done)
+	}
+
+	res.BatchesIn = make([]int64, len(p.Stages))
+	res.BatchesOut = make([]int64, len(p.Stages))
+
+	var wg sync.WaitGroup
+
+	// Source goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		emit := sink
+		if len(ports) > 0 {
+			emit = ports[0].Send
+		}
+		if err := p.Source(func(b *columnar.Batch) error {
+			if len(ports) == 0 {
+				res.SinkBatches++
+				res.SinkRows += int64(b.NumRows())
+				res.SinkBytes += sim.Bytes(b.ByteSize())
+			}
+			return emit(b)
+		}); err != nil {
+			fail(err)
+		}
+		if len(ports) > 0 {
+			ports[0].Close()
+		}
+	}()
+
+	// Stage goroutines.
+	for i := range p.Stages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := p.Stages[i]
+			in := ports[i]
+			var out Emit
+			last := i == len(p.Stages)-1
+			if last {
+				out = func(b *columnar.Batch) error {
+					res.SinkBatches++
+					res.SinkRows += int64(b.NumRows())
+					res.SinkBytes += sim.Bytes(b.ByteSize())
+					res.BatchesOut[i]++
+					return sink(b)
+				}
+			} else {
+				next := ports[i+1]
+				out = func(b *columnar.Batch) error {
+					res.BatchesOut[i]++
+					return next.Send(b)
+				}
+			}
+			if st.Device != nil {
+				st.Device.ChargeSetup()
+			}
+			for {
+				b, ok, err := in.Recv()
+				if err != nil {
+					fail(err)
+					break
+				}
+				if !ok {
+					if err := st.Stage.Flush(out); err != nil {
+						fail(err)
+					}
+					break
+				}
+				res.BatchesIn[i]++
+				if st.ChargeInput && st.Device != nil {
+					st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
+				}
+				if err := st.Stage.Process(b, out); err != nil {
+					fail(err)
+					in.CreditReturn()
+					break
+				}
+				in.CreditReturn()
+			}
+			in.flushCredits()
+			if !last {
+				ports[i+1].Close()
+			}
+		}(i)
+	}
+
+	wg.Wait()
+	for _, port := range ports {
+		res.Ports = append(res.Ports, port.Stats())
+	}
+	return res, firstErr
+}

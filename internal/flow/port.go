@@ -1,0 +1,176 @@
+// Package flow implements the paper's Section 7.1 execution substrate: a
+// push-based pipeline of stages connected by queues with credit-based
+// flow control, the way PCIe moves TLPs. Data is processed in one stage
+// and sent to the next depending on that stage's queue availability;
+// credits flow as a low-traffic counter-stream of control messages.
+//
+// Stages run on goroutines (the DMA engines and accelerators of the
+// model); each port knows the fabric links its traffic crosses and
+// charges them for every data batch and credit message, so experiments
+// can report both throughput and control-traffic overhead.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/columnar"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// ErrCanceled is returned by port operations when the pipeline has been
+// torn down due to an error elsewhere.
+var ErrCanceled = errors.New("flow: pipeline canceled")
+
+// Port is one credit-controlled queue between two pipeline stages.
+type Port struct {
+	Name string
+	// Path lists the fabric links a batch crosses between the stages
+	// (possibly empty for on-device handoff). Data transfers charge
+	// every link; credit returns charge one control message per link.
+	Path []*fabric.Link
+
+	depth       int
+	creditBatch int
+
+	ch      chan *columnar.Batch
+	credits chan struct{}
+	done    <-chan struct{}
+
+	pending    atomic.Int64 // credits held back at the receiver
+	dataMsgs   atomic.Int64
+	creditMsgs atomic.Int64
+	bytes      atomic.Int64
+}
+
+// newPort builds a port of the given depth. creditBatch controls how
+// many consumed credits the receiver accumulates before returning them
+// in one control message; it is clamped to at most half the depth so the
+// sender can never starve.
+func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-chan struct{}) *Port {
+	if depth < 1 {
+		depth = 1
+	}
+	if creditBatch < 1 {
+		creditBatch = 1
+	}
+	if creditBatch > depth/2 && depth > 1 {
+		creditBatch = depth / 2
+	}
+	if depth == 1 {
+		creditBatch = 1
+	}
+	p := &Port{
+		Name:        name,
+		Path:        path,
+		depth:       depth,
+		creditBatch: creditBatch,
+		ch:          make(chan *columnar.Batch, depth),
+		credits:     make(chan struct{}, depth),
+		done:        done,
+	}
+	for i := 0; i < depth; i++ {
+		p.credits <- struct{}{}
+	}
+	return p
+}
+
+// Send blocks until a credit is available, then transfers the batch,
+// charging every link on the path.
+func (p *Port) Send(b *columnar.Batch) error {
+	select {
+	case <-p.done:
+		return ErrCanceled
+	case <-p.credits:
+	}
+	n := sim.Bytes(b.ByteSize())
+	for _, l := range p.Path {
+		l.Transfer(n)
+	}
+	p.dataMsgs.Add(1)
+	p.bytes.Add(int64(n))
+	select {
+	case <-p.done:
+		return ErrCanceled
+	case p.ch <- b:
+	}
+	return nil
+}
+
+// Close signals end-of-stream to the receiver. Only the sender may call
+// it, exactly once.
+func (p *Port) Close() { close(p.ch) }
+
+// Recv returns the next batch. ok is false at end-of-stream. The
+// receiver must call CreditReturn after it has finished processing each
+// received batch.
+func (p *Port) Recv() (*columnar.Batch, bool, error) {
+	select {
+	case <-p.done:
+		return nil, false, ErrCanceled
+	case b, ok := <-p.ch:
+		if !ok {
+			return nil, false, nil
+		}
+		return b, true, nil
+	}
+}
+
+// CreditReturn hands one consumed credit back toward the sender.
+// Credits are batched: only every creditBatch-th call produces an actual
+// control message on the path.
+func (p *Port) CreditReturn() {
+	if n := p.pending.Add(1); int(n) >= p.creditBatch {
+		p.flushCredits()
+	}
+}
+
+// flushCredits returns all pending credits in one control message.
+func (p *Port) flushCredits() {
+	for {
+		n := p.pending.Load()
+		if n == 0 {
+			return
+		}
+		if !p.pending.CompareAndSwap(n, 0) {
+			continue
+		}
+		for _, l := range p.Path {
+			l.Message()
+		}
+		p.creditMsgs.Add(1)
+		for i := int64(0); i < n; i++ {
+			p.credits <- struct{}{}
+		}
+		return
+	}
+}
+
+// Stats reports the port's traffic counters.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		Name:           p.Name,
+		Depth:          p.depth,
+		DataMessages:   p.dataMsgs.Load(),
+		CreditMessages: p.creditMsgs.Load(),
+		Bytes:          sim.Bytes(p.bytes.Load()),
+	}
+}
+
+// PortStats is a snapshot of one port's counters. The paper's claim that
+// credit-based flow control "is easy to implement and low traffic"
+// (Section 7.1) is checked by comparing CreditMessages to DataMessages.
+type PortStats struct {
+	Name           string
+	Depth          int
+	DataMessages   int64
+	CreditMessages int64
+	Bytes          sim.Bytes
+}
+
+// String renders the stats compactly.
+func (s PortStats) String() string {
+	return fmt.Sprintf("%s: %d data, %d credit msgs, %s", s.Name, s.DataMessages, s.CreditMessages, s.Bytes)
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// DistJoinConfig describes the Figure 4 scenario: a partitioned hash
+// join across several compute nodes with the scatter executed either on
+// the smart NIC (no CPU involvement) or on the CPUs (baseline).
+type DistJoinConfig struct {
+	// BuildKey/ProbeKey are key column indices within each side's
+	// schema.
+	BuildKey, ProbeKey int
+	// Nodes lists the per-node resources.
+	Nodes []JoinNode
+	// ScatterDevice partitions the streams (a smart NIC or a CPU).
+	ScatterDevice *fabric.Device
+	// ScatterOnNIC records which mode this run models, for reporting.
+	ScatterOnNIC bool
+	// Paths[i] is the fabric path from the scatter point to node i.
+	Paths [][]*fabric.Link
+	// BatchRows is the exchange granule.
+	BatchRows int
+}
+
+// JoinNode is one compute node participating in the distributed join.
+type JoinNode struct {
+	Name string
+	// CPU executes the local build and probe.
+	CPU *fabric.Device
+}
+
+// DistJoinResult reports the outcome and cost decomposition.
+type DistJoinResult struct {
+	Rows         int64     // joined output rows across all nodes
+	ScatterBytes sim.Bytes // bytes the scatter device processed
+	CPUBytes     sim.Bytes // bytes charged to node CPUs (join work)
+	SkewMax      int64     // largest per-node probe share
+	SkewMin      int64     // smallest per-node probe share
+}
+
+// DistributedJoin executes a partitioned hash join: the build side is
+// scattered by key to per-node hash tables, then the probe side is
+// scattered the same way and probed locally. Matching rows are counted
+// per node (gathering full results is the caller's choice via onResult).
+func DistributedJoin(cfg DistJoinConfig, build, probe []*columnar.Batch, onResult func(node int, b *columnar.Batch) error) (DistJoinResult, error) {
+	var res DistJoinResult
+	n := len(cfg.Nodes)
+	if n == 0 {
+		return res, fmt.Errorf("netsim: distributed join needs nodes")
+	}
+	if len(cfg.Paths) != n {
+		return res, fmt.Errorf("netsim: %d paths for %d nodes", len(cfg.Paths), n)
+	}
+	if len(build) == 0 {
+		return res, fmt.Errorf("netsim: empty build side")
+	}
+	if cfg.ScatterDevice == nil || !cfg.ScatterDevice.Can(fabric.OpPartition) {
+		return res, fmt.Errorf("netsim: scatter device cannot partition")
+	}
+
+	cpuBefore := make([]sim.Snapshot, n)
+	for i, node := range cfg.Nodes {
+		cpuBefore[i] = node.CPU.Meter.Snapshot()
+	}
+	scatterBefore := cfg.ScatterDevice.Meter.Snapshot()
+	cfg.ScatterDevice.ChargeSetup()
+
+	// Phase 1: scatter the build side into per-node hash tables.
+	buildSchema := build[0].Schema()
+	tables := make([]*exec.HashTable, n)
+	for i := range tables {
+		tables[i] = exec.NewHashTable(buildSchema, cfg.BuildKey)
+	}
+	buildDests := make([]Destination, n)
+	for i := range buildDests {
+		i := i
+		buildDests[i] = Destination{
+			Path: cfg.Paths[i],
+			Sink: func(b *columnar.Batch) error {
+				cfg.Nodes[i].CPU.Charge(fabric.OpJoin, sim.Bytes(b.ByteSize()))
+				tables[i].Build(b)
+				return nil
+			},
+		}
+	}
+	ex, err := NewExchange(cfg.BuildKey, buildDests)
+	if err != nil {
+		return res, err
+	}
+	if cfg.BatchRows > 0 {
+		ex.BatchRows = cfg.BatchRows
+	}
+	for _, b := range build {
+		cfg.ScatterDevice.Charge(fabric.OpPartition, sim.Bytes(b.ByteSize()))
+		if err := ex.Process(b, nil); err != nil {
+			return res, err
+		}
+	}
+	if err := ex.Flush(nil); err != nil {
+		return res, err
+	}
+
+	// Phase 2: scatter the probe side and probe locally.
+	probeDests := make([]Destination, n)
+	perNodeRows := make([]int64, n)
+	for i := range probeDests {
+		i := i
+		probeDests[i] = Destination{
+			Path: cfg.Paths[i],
+			Sink: func(b *columnar.Batch) error {
+				cfg.Nodes[i].CPU.Charge(fabric.OpJoin, sim.Bytes(b.ByteSize()))
+				perNodeRows[i] += int64(b.NumRows())
+				out := tables[i].Probe(b, cfg.ProbeKey)
+				if out.NumRows() == 0 {
+					return nil
+				}
+				res.Rows += int64(out.NumRows())
+				if onResult != nil {
+					return onResult(i, out)
+				}
+				return nil
+			},
+		}
+	}
+	pex, err := NewExchange(cfg.ProbeKey, probeDests)
+	if err != nil {
+		return res, err
+	}
+	if cfg.BatchRows > 0 {
+		pex.BatchRows = cfg.BatchRows
+	}
+	for _, b := range probe {
+		cfg.ScatterDevice.Charge(fabric.OpPartition, sim.Bytes(b.ByteSize()))
+		if err := pex.Process(b, nil); err != nil {
+			return res, err
+		}
+	}
+	if err := pex.Flush(nil); err != nil {
+		return res, err
+	}
+
+	res.ScatterBytes = cfg.ScatterDevice.Meter.Snapshot().Sub(scatterBefore).Bytes
+	for i, node := range cfg.Nodes {
+		res.CPUBytes += node.CPU.Meter.Snapshot().Sub(cpuBefore[i]).Bytes
+	}
+	res.SkewMax, res.SkewMin = perNodeRows[0], perNodeRows[0]
+	for _, r := range perNodeRows[1:] {
+		if r > res.SkewMax {
+			res.SkewMax = r
+		}
+		if r < res.SkewMin {
+			res.SkewMin = r
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,376 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Placement assigns one operator to one site of the path.
+type Placement struct {
+	Op      fabric.OpClass
+	SiteIdx int
+}
+
+// Physical is one executable plan variant: operator placements along the
+// path plus cost estimates. A query produces several variants; the
+// scheduler (Section 7.3) picks among them at runtime.
+type Physical struct {
+	Query      *Query
+	Variant    string
+	Path       PathModel
+	Placements []Placement
+
+	// Estimates from the cost model.
+	EstBytes sim.Bytes // total bytes crossing all path segments
+	EstTime  sim.VTime // pipeline makespan estimate
+}
+
+// PlacementsAt returns the ops placed at site index i, in plan order.
+func (p *Physical) PlacementsAt(i int) []fabric.OpClass {
+	var ops []fabric.OpClass
+	for _, pl := range p.Placements {
+		if pl.SiteIdx == i {
+			ops = append(ops, pl.Op)
+		}
+	}
+	return ops
+}
+
+// HasPlacement reports whether op is placed at site s.
+func (p *Physical) HasPlacement(op fabric.OpClass, s Site) bool {
+	idx := p.Path.SiteIndex(s)
+	for _, pl := range p.Placements {
+		if pl.Op == op && pl.SiteIdx == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// Explain renders the plan with placements and estimates.
+func (p *Physical) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q for %s\n", p.Variant, p.Query)
+	for i, s := range p.Path.Sites {
+		ops := p.PlacementsAt(i)
+		names := make([]string, len(ops))
+		for j, op := range ops {
+			names[j] = op.String()
+		}
+		marker := "-"
+		if len(names) > 0 {
+			marker = strings.Join(names, ", ")
+		}
+		fmt.Fprintf(&b, "  %-12s %-14s %s\n", s.Site, s.Device.Name, marker)
+	}
+	fmt.Fprintf(&b, "  est: %s moved, %s\n", p.EstBytes, p.EstTime)
+	return b.String()
+}
+
+// DefaultMoveWeight prices data movement when ranking plans. The rank
+// key is time + weight * (bytes / first-segment bandwidth): moved bytes
+// are costed as if they contended for the shared fabric, reflecting the
+// paper's Section 1 requirement that movement be a first-class concern
+// (the fabric is shared at the datacenter level even when one query's
+// links look idle).
+const DefaultMoveWeight = 2.0
+
+// Optimizer enumerates and ranks plan variants for a path.
+type Optimizer struct {
+	Path PathModel
+	// MoveWeight trades movement against time when ranking. Zero means
+	// DefaultMoveWeight; negative ranks by time alone.
+	MoveWeight float64
+}
+
+// Enumerate produces the distinct placement variants for the query. The
+// first site capable of an op hosts it in offload variants; incapable
+// fabrics (dumb storage, dumb NICs) naturally degrade toward the CPU.
+func (o *Optimizer) Enumerate(q *Query, stats TableStats) ([]*Physical, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	pm := o.Path
+	cpuIdx := len(pm.Sites) - 1
+
+	type variantSpec struct {
+		name string
+		// siteFor returns the chosen site for an op given the earliest
+		// capable site, or cpuIdx to refuse offload.
+		siteFor func(op fabric.OpClass) int
+		// cascade places pre-aggregation at every capable site before
+		// the CPU (the Section 4.4 staged group-by) instead of just the
+		// chosen one.
+		cascade bool
+	}
+	cpuOnly := func(fabric.OpClass) int { return cpuIdx }
+	earliest := func(op fabric.OpClass) int {
+		if i := pm.EarliestCapable(op, 0); i >= 0 {
+			return i
+		}
+		return cpuIdx
+	}
+	storageOnly := func(op fabric.OpClass) int {
+		if pm.Sites[0].Device.Can(op) {
+			return 0
+		}
+		return cpuIdx
+	}
+	nicOnward := func(op fabric.OpClass) int {
+		from := pm.SiteIndex(SiteComputeNIC)
+		if from < 0 {
+			from = cpuIdx
+		}
+		if i := pm.EarliestCapable(op, from); i >= 0 {
+			return i
+		}
+		return cpuIdx
+	}
+
+	specs := []variantSpec{
+		{"cpu-only", cpuOnly, false},
+		{"storage-pushdown", storageOnly, false},
+		{"full-offload", earliest, true},
+		{"nic-offload", nicOnward, false},
+	}
+
+	var out []*Physical
+	seen := map[string]bool{}
+	for _, vs := range specs {
+		ph := o.build(q, stats, vs.name, vs.siteFor, vs.cascade)
+		key := placementKey(ph.Placements)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, ph)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return o.rank(out[i]) < o.rank(out[j])
+	})
+	return out, nil
+}
+
+// Choose returns the best-ranked variant.
+func (o *Optimizer) Choose(q *Query, stats TableStats) (*Physical, error) {
+	all, err := o.Enumerate(q, stats)
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+func (o *Optimizer) rank(p *Physical) float64 {
+	score := p.EstTime.Seconds()
+	w := o.MoveWeight
+	if w == 0 {
+		w = DefaultMoveWeight
+	}
+	if w > 0 {
+		base := o.Path.SegmentBandwidth(0)
+		if base <= 0 {
+			base = sim.GBPerSec
+		}
+		score += w * float64(p.EstBytes) / float64(base)
+	}
+	return score
+}
+
+// build constructs one variant and costs it.
+func (o *Optimizer) build(q *Query, stats TableStats, name string, siteFor func(fabric.OpClass) int, cascade bool) *Physical {
+	pm := o.Path
+	cpuIdx := len(pm.Sites) - 1
+	ph := &Physical{Query: q, Variant: name, Path: pm}
+	add := func(op fabric.OpClass, site int) {
+		ph.Placements = append(ph.Placements, Placement{Op: op, SiteIdx: site})
+	}
+
+	if q.Filter != nil {
+		add(fabric.OpFilter, siteFor(fabric.OpFilter))
+	}
+	switch {
+	case q.CountOnly:
+		add(fabric.OpCount, siteFor(fabric.OpCount))
+	case q.GroupBy != nil:
+		// Pre-aggregate where the variant allows, then final-aggregate
+		// at the CPU. Cascading variants stage the group-by at every
+		// capable site before the CPU (the Section 4.4 pipeline of
+		// group-by stages).
+		first := siteFor(fabric.OpPreAgg)
+		if first < cpuIdx {
+			if cascade {
+				for i := first; i < cpuIdx; i++ {
+					if pm.Sites[i].Device.Can(fabric.OpPreAgg) {
+						add(fabric.OpPreAgg, i)
+					}
+				}
+			} else {
+				add(fabric.OpPreAgg, first)
+			}
+		}
+		add(fabric.OpAggregate, cpuIdx)
+	case q.Projection != nil:
+		add(fabric.OpProject, siteFor(fabric.OpProject))
+	}
+	if q.OrderBy >= 0 {
+		add(fabric.OpSort, cpuIdx)
+	}
+	o.estimate(ph, stats)
+	return ph
+}
+
+// estimate walks the path applying each placed op's data reduction and
+// accumulating device and segment costs. The makespan estimate is the
+// pipeline bottleneck (max over devices and segments) plus one latency
+// per hop.
+func (o *Optimizer) estimate(ph *Physical, stats TableStats) {
+	pm := o.Path
+	q := ph.Query
+
+	rows := float64(stats.Rows)
+	rowBytes := float64(stats.RowBytes(neededCols(q, len(stats.ColBytes))))
+	sel := EstimateSelectivity(q.Filter, stats)
+	groups := float64(stats.GroupEstimate(q.GroupBy))
+
+	var bottleneck sim.VTime
+	var latency sim.VTime
+	var moved sim.Bytes
+
+	// Storage decode always happens at site 0 over the encoded bytes.
+	encBytes := sim.Bytes(rows * rowBytes * stats.EncodedFraction)
+	if dec := pm.Sites[0].Device.RateFor(fabric.OpDecompress); dec > 0 {
+		if t := dec.TimeFor(encBytes); t > bottleneck {
+			bottleneck = t
+		}
+	}
+
+	outCols := outputCols(q, len(stats.ColBytes))
+	for i, site := range pm.Sites {
+		inBytes := sim.Bytes(rows * rowBytes)
+		for _, op := range ph.PlacementsAt(i) {
+			if t := site.Device.RateFor(op).TimeFor(inBytes); t > bottleneck {
+				bottleneck = t
+			}
+			switch op {
+			case fabric.OpFilter:
+				rows *= sel
+			case fabric.OpProject:
+				rowBytes = float64(stats.RowBytes(outCols))
+			case fabric.OpPreAgg:
+				// Bounded state: output is at most the group count
+				// (plus spills; ignore second-order effects). Partial
+				// rows carry full aggregate state and are wider than
+				// raw rows, so pre-aggregation can lose when group
+				// cardinality approaches row count — a crossover the
+				// ranking must see.
+				if rows > groups {
+					rows = groups
+				}
+				rowBytes = partialRowBytes(q.GroupBy, stats)
+			case fabric.OpAggregate:
+				rows = groups
+				rowBytes = partialRowBytes(q.GroupBy, stats)
+			case fabric.OpCount:
+				rows = 1
+				rowBytes = 8
+			}
+			inBytes = sim.Bytes(rows * rowBytes)
+		}
+		if i == len(pm.Sites)-1 {
+			break
+		}
+		segBytes := sim.Bytes(rows * rowBytes)
+		moved += segBytes
+		if bw := pm.SegmentBandwidth(i); bw > 0 {
+			if t := bw.TimeFor(segBytes); t > bottleneck {
+				bottleneck = t
+			}
+		}
+		latency += pm.SegmentLatency(i)
+	}
+
+	ph.EstBytes = moved
+	ph.EstTime = bottleneck + latency
+}
+
+// partialRowBytes estimates the width of one partial-aggregation row.
+func partialRowBytes(g *expr.GroupBy, stats TableStats) float64 {
+	if g == nil {
+		return 8
+	}
+	var n int64
+	for _, c := range g.GroupCols {
+		if c < len(stats.ColBytes) {
+			n += stats.ColBytes[c]
+		}
+	}
+	n += int64(len(g.Aggs)) * 56 // seven 8-byte state fields
+	return float64(n)
+}
+
+// neededCols unions the columns a query touches.
+func neededCols(q *Query, numCols int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(c int) {
+		if c >= 0 && c < numCols && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if q.Filter != nil {
+		for _, c := range q.Filter.Columns() {
+			add(c)
+		}
+	}
+	switch {
+	case q.CountOnly:
+		if q.Filter == nil {
+			add(0)
+		}
+	case q.GroupBy != nil:
+		for _, c := range q.GroupBy.GroupCols {
+			add(c)
+		}
+		for _, a := range q.GroupBy.Aggs {
+			if a.Func != expr.Count {
+				add(a.Col)
+			}
+		}
+	case q.Projection != nil:
+		for _, c := range q.Projection {
+			add(c)
+		}
+	default:
+		for c := 0; c < numCols; c++ {
+			add(c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// outputCols is what survives projection (or the full set).
+func outputCols(q *Query, numCols int) []int {
+	if q.Projection != nil {
+		return q.Projection
+	}
+	out := make([]int, numCols)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func placementKey(ps []Placement) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%d@%d", p.Op, p.SiteIdx)
+	}
+	return strings.Join(parts, ",")
+}

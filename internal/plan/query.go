@@ -1,0 +1,125 @@
+// Package plan implements query planning for the data-flow engine: a
+// declarative query form, physical plans annotated with *placement*
+// (which device along the data path hosts each operator), a cost model
+// in which data movement is a first-class term (paper Section 1: "the
+// optimizers will need to consider data movement cost in a disaggregated
+// setting as a first-class concern"), and an optimizer that enumerates
+// placement variants and ranks them.
+//
+// Plans deliberately carry several variants (Section 7.3): the scheduler
+// picks which variant to activate at runtime depending on interference.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Query is the declarative form the engine accepts: a scan with optional
+// filter, projection and aggregation. Joins are planned separately (see
+// netsim.DistributedJoin); this linear shape is what flows down the
+// Figure 6 pipeline.
+type Query struct {
+	// Table is the scanned table's name.
+	Table string
+	// Filter restricts rows; nil for none. Column indices refer to the
+	// table schema.
+	Filter expr.Predicate
+	// Projection lists returned columns; nil for all. Ignored when
+	// GroupBy or CountOnly is set.
+	Projection []int
+	// GroupBy aggregates the result; nil for none.
+	GroupBy *expr.GroupBy
+	// CountOnly marks a bare COUNT(*) query, which Section 4.4 says can
+	// complete entirely on a NIC.
+	CountOnly bool
+	// OrderBy, when >= 0, sorts the result by that output column
+	// (BIGINT ascending). Applied on the compute node.
+	OrderBy int
+	// Limit truncates the result when > 0.
+	Limit int
+}
+
+// NewQuery returns a query over table with no operations and no order.
+func NewQuery(table string) *Query {
+	return &Query{Table: table, OrderBy: -1}
+}
+
+// WithFilter sets the filter.
+func (q *Query) WithFilter(p expr.Predicate) *Query { q.Filter = p; return q }
+
+// WithProjection sets the projection.
+func (q *Query) WithProjection(cols ...int) *Query { q.Projection = cols; return q }
+
+// WithGroupBy sets the aggregation.
+func (q *Query) WithGroupBy(g expr.GroupBy) *Query { q.GroupBy = &g; return q }
+
+// WithCount marks the query as COUNT(*).
+func (q *Query) WithCount() *Query { q.CountOnly = true; return q }
+
+// WithOrderBy sets the output sort column.
+func (q *Query) WithOrderBy(col int) *Query { q.OrderBy = col; return q }
+
+// WithLimit sets the row limit.
+func (q *Query) WithLimit(n int) *Query { q.Limit = n; return q }
+
+// Validate rejects malformed queries.
+func (q *Query) Validate() error {
+	if q.Table == "" {
+		return fmt.Errorf("plan: query without table")
+	}
+	if q.CountOnly && q.GroupBy != nil {
+		return fmt.Errorf("plan: CountOnly and GroupBy are mutually exclusive")
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("plan: negative limit")
+	}
+	return nil
+}
+
+// String renders the query in SQL-ish form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case q.CountOnly:
+		b.WriteString("COUNT(*)")
+	case q.GroupBy != nil:
+		var parts []string
+		for _, c := range q.GroupBy.GroupCols {
+			parts = append(parts, fmt.Sprintf("col%d", c))
+		}
+		for _, a := range q.GroupBy.Aggs {
+			parts = append(parts, a.String())
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	case q.Projection != nil:
+		var parts []string
+		for _, c := range q.Projection {
+			parts = append(parts, fmt.Sprintf("col%d", c))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	default:
+		b.WriteString("*")
+	}
+	fmt.Fprintf(&b, " FROM %s", q.Table)
+	if q.Filter != nil {
+		fmt.Fprintf(&b, " WHERE %s", q.Filter)
+	}
+	if q.GroupBy != nil && len(q.GroupBy.GroupCols) > 0 {
+		var parts []string
+		for _, c := range q.GroupBy.GroupCols {
+			parts = append(parts, fmt.Sprintf("col%d", c))
+		}
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(parts, ", "))
+	}
+	if q.OrderBy >= 0 {
+		fmt.Fprintf(&b, " ORDER BY out%d", q.OrderBy)
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+// Package sched implements the paper's Section 7.3 scheduling layer.
+// Interference is the enemy of sustained performance: when two plans
+// contend for a link or accelerator, arbitration and re-acquisition
+// overheads eat throughput. The scheduler therefore (a) selects among
+// each query's plan *variants* at admission time, steering new work away
+// from loaded resources, and (b) rate-limits the DMA bandwidth of plans
+// sharing a link so each gets a fair, predictable share.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// Admission is one admitted plan execution. Callers must Release it when
+// the query finishes.
+type Admission struct {
+	ID      int64
+	Plan    *plan.Physical
+	Variant string
+
+	links []*fabric.Link
+}
+
+// Scheduler tracks active plans and the load they put on fabric links.
+type Scheduler struct {
+	mu       sync.Mutex
+	nextID   int64
+	active   map[int64]*Admission
+	linkLoad map[*fabric.Link]int
+
+	// ContentionPenalty is the rank-score penalty per already-active
+	// plan on a link the candidate variant would use. Higher values
+	// steer harder toward idle resources.
+	ContentionPenalty float64
+	// FairShare, when set, rate-limits every link to bandwidth/k while
+	// k admitted plans share it (Section 7.3's DMA rate limiting).
+	FairShare bool
+}
+
+// New returns an empty scheduler with fair sharing enabled.
+func New() *Scheduler {
+	return &Scheduler{
+		active:            make(map[int64]*Admission),
+		linkLoad:          make(map[*fabric.Link]int),
+		ContentionPenalty: 1.0,
+		FairShare:         true,
+	}
+}
+
+// variantLinks collects the distinct links a variant's data crosses.
+func variantLinks(p *plan.Physical) []*fabric.Link {
+	seen := map[*fabric.Link]bool{}
+	var out []*fabric.Link
+	for _, site := range p.Path.Sites {
+		for _, l := range site.ToNext {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// Admit picks the least-interfering variant from the ranked candidates
+// (best-ranked first, as returned by plan.Optimizer.Enumerate) and
+// reserves its links. The choice trades the optimizer's static rank
+// against current contention: an idle lower-ranked variant can win over
+// a loaded top-ranked one.
+func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("sched: no variants to admit")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	type scored struct {
+		idx  int
+		cost float64
+	}
+	scores := make([]scored, len(variants))
+	for i, v := range variants {
+		contention := 0
+		for _, l := range variantLinks(v) {
+			contention += s.linkLoad[l]
+		}
+		scores[i] = scored{idx: i, cost: float64(i) + s.ContentionPenalty*float64(contention)}
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].cost < scores[b].cost })
+	chosen := variants[scores[0].idx]
+
+	s.nextID++
+	adm := &Admission{
+		ID:      s.nextID,
+		Plan:    chosen,
+		Variant: chosen.Variant,
+		links:   variantLinks(chosen),
+	}
+	s.active[adm.ID] = adm
+	for _, l := range adm.links {
+		s.linkLoad[l]++
+	}
+	s.rebalanceLocked()
+	return adm, nil
+}
+
+// Release returns an admission's resources and recomputes fair shares.
+// Releasing twice is a caller bug and panics.
+func (s *Scheduler) Release(adm *Admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.active[adm.ID]; !ok {
+		panic(fmt.Sprintf("sched: double release of admission %d", adm.ID))
+	}
+	delete(s.active, adm.ID)
+	for _, l := range adm.links {
+		s.linkLoad[l]--
+		if s.linkLoad[l] <= 0 {
+			delete(s.linkLoad, l)
+		}
+	}
+	s.rebalanceLocked()
+}
+
+// rebalanceLocked applies fair-share rate limits to every tracked link.
+func (s *Scheduler) rebalanceLocked() {
+	if !s.FairShare {
+		return
+	}
+	// Collect all links seen in active admissions (including ones whose
+	// load just dropped to zero, to clear their limit).
+	seen := map[*fabric.Link]bool{}
+	for _, adm := range s.active {
+		for _, l := range adm.links {
+			seen[l] = true
+		}
+	}
+	for l := range seen {
+		k := s.linkLoad[l]
+		if k <= 1 {
+			l.SetRateLimit(0)
+		} else {
+			l.SetRateLimit(l.Bandwidth / sim.Rate(k))
+		}
+	}
+}
+
+// ClearLimits removes every rate limit the scheduler has set; use after
+// draining all admissions in tests and experiments.
+func (s *Scheduler) ClearLimits() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l := range s.linkLoad {
+		l.SetRateLimit(0)
+	}
+}
+
+// ActiveCount reports the number of admitted, unreleased plans.
+func (s *Scheduler) ActiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// LinkLoad reports how many active plans use the link.
+func (s *Scheduler) LinkLoad(l *fabric.Link) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.linkLoad[l]
+}

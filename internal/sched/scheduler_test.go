@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+)
+
+// twoNodeVariants builds ranked variants for the same query on two
+// different compute nodes of one cluster, so admission can steer between
+// them.
+func twoNodeVariants(t *testing.T) (*fabric.Cluster, []*plan.Physical, []*plan.Physical) {
+	t.Helper()
+	c := fabric.NewCluster(fabric.DefaultClusterConfig())
+	q := plan.NewQuery("t").WithFilter(expr.NewCmp(1, expr.Lt, columnar.IntValue(5)))
+	stats := plan.StatsFromSchema(columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "qty", Type: columnar.Int64},
+	))
+	stats.Rows = 1_000_000
+	stats.Distinct[1] = 50
+
+	var perNode [][]*plan.Physical
+	for node := 0; node < 2; node++ {
+		pm, err := plan.FromCluster(c, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := &plan.Optimizer{Path: pm}
+		variants, err := opt.Enumerate(q, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perNode = append(perNode, variants)
+	}
+	return c, perNode[0], perNode[1]
+}
+
+func TestAdmitPicksTopVariantWhenIdle(t *testing.T) {
+	_, v0, _ := twoNodeVariants(t)
+	s := New()
+	adm, err := s.Admit(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Variant != v0[0].Variant {
+		t.Errorf("idle admission chose %q, want top-ranked %q", adm.Variant, v0[0].Variant)
+	}
+	if s.ActiveCount() != 1 {
+		t.Errorf("ActiveCount = %d", s.ActiveCount())
+	}
+	s.Release(adm)
+	if s.ActiveCount() != 0 {
+		t.Error("release did not drain")
+	}
+}
+
+func TestAdmitRequiresVariants(t *testing.T) {
+	if _, err := New().Admit(nil); err == nil {
+		t.Error("empty admit succeeded")
+	}
+}
+
+func TestFairShareLimitsAndRestores(t *testing.T) {
+	c, v0, _ := twoNodeVariants(t)
+	s := New()
+	// Admit the same node-0 variant list twice: both use node 0's host
+	// links, forcing shared-link limits.
+	a1, err := s.Admit(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Admit(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a link both admissions use.
+	shared := c.LinkBetween(fabric.DevStorageNIC, fabric.DevSwitch)
+	if shared == nil {
+		t.Fatal("no storage uplink")
+	}
+	if load := s.LinkLoad(shared); load != 2 {
+		t.Fatalf("shared link load = %d, want 2", load)
+	}
+	if shared.EffectiveBandwidth() != shared.Bandwidth/2 {
+		t.Errorf("shared link not fair-shared: %v of %v", shared.EffectiveBandwidth(), shared.Bandwidth)
+	}
+	s.Release(a1)
+	if shared.EffectiveBandwidth() != shared.Bandwidth {
+		t.Errorf("limit not lifted after release: %v", shared.EffectiveBandwidth())
+	}
+	s.Release(a2)
+	if s.LinkLoad(shared) != 0 {
+		t.Error("load not drained")
+	}
+}
+
+func TestContentionSteersVariant(t *testing.T) {
+	// Load node-0's path heavily, then admit a candidate list that
+	// contains node-0 and node-1 variants: the scheduler must choose a
+	// node-1 variant despite node-0's better rank.
+	_, v0, v1 := twoNodeVariants(t)
+	s := New()
+	s.ContentionPenalty = 10
+	var held []*Admission
+	for i := 0; i < 3; i++ {
+		a, err := s.Admit(v0[:1]) // force node-0 placement
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, a)
+	}
+	// Candidates: node-0 top variant first (better rank), node-1 next.
+	mixed := []*plan.Physical{v0[0], v1[0]}
+	a, err := s.Admit(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan != v1[0] {
+		t.Errorf("scheduler kept loaded node-0 variant under contention")
+	}
+	for _, h := range held {
+		s.Release(h)
+	}
+	s.Release(a)
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	_, v0, _ := twoNodeVariants(t)
+	s := New()
+	a, err := s.Admit(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	s.Release(a)
+}
+
+func TestFairShareDisabled(t *testing.T) {
+	c, v0, _ := twoNodeVariants(t)
+	s := New()
+	s.FairShare = false
+	a1, _ := s.Admit(v0)
+	a2, _ := s.Admit(v0)
+	shared := c.LinkBetween(fabric.DevStorageNIC, fabric.DevSwitch)
+	if shared.EffectiveBandwidth() != shared.Bandwidth {
+		t.Error("FairShare=false still limited the link")
+	}
+	s.Release(a1)
+	s.Release(a2)
+}
+
+func TestClearLimits(t *testing.T) {
+	c, v0, _ := twoNodeVariants(t)
+	s := New()
+	s.Admit(v0)
+	s.Admit(v0)
+	s.ClearLimits()
+	shared := c.LinkBetween(fabric.DevStorageNIC, fabric.DevSwitch)
+	if shared.EffectiveBandwidth() != shared.Bandwidth {
+		t.Error("ClearLimits left a limit")
+	}
+}

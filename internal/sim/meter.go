@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Meter accumulates traffic and busy time for one simulated resource
+// (a device or a link). All methods are safe for concurrent use; pipeline
+// stages run on separate goroutines and charge their own costs.
+type Meter struct {
+	bytes    atomic.Int64 // payload bytes processed or moved
+	busy     atomic.Int64 // virtual nanoseconds of busy time
+	ops      atomic.Int64 // discrete operations (transfers, kernel launches)
+	messages atomic.Int64 // protocol/control messages (credits, invalidations)
+}
+
+// AddBytes charges n payload bytes to the meter.
+func (m *Meter) AddBytes(n Bytes) { m.bytes.Add(int64(n)) }
+
+// AddBusy charges t of virtual busy time to the meter.
+func (m *Meter) AddBusy(t VTime) { m.busy.Add(int64(t)) }
+
+// AddOps charges n discrete operations.
+func (m *Meter) AddOps(n int64) { m.ops.Add(n) }
+
+// AddMessages charges n protocol messages (e.g. credit grants, coherency
+// invalidations). Counted separately so experiments can report the
+// control-traffic overhead the paper claims is low (Section 7.1).
+func (m *Meter) AddMessages(n int64) { m.messages.Add(n) }
+
+// Bytes reports total payload bytes charged so far.
+func (m *Meter) Bytes() Bytes { return Bytes(m.bytes.Load()) }
+
+// Busy reports total virtual busy time charged so far.
+func (m *Meter) Busy() VTime { return VTime(m.busy.Load()) }
+
+// Ops reports total discrete operations charged so far.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
+
+// Messages reports total protocol messages charged so far.
+func (m *Meter) Messages() int64 { return m.messages.Load() }
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.bytes.Store(0)
+	m.busy.Store(0)
+	m.ops.Store(0)
+	m.messages.Store(0)
+}
+
+// Snapshot is a point-in-time copy of a Meter's counters.
+type Snapshot struct {
+	Bytes    Bytes
+	Busy     VTime
+	Ops      int64
+	Messages int64
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Meter) Snapshot() Snapshot {
+	return Snapshot{
+		Bytes:    m.Bytes(),
+		Busy:     m.Busy(),
+		Ops:      m.Ops(),
+		Messages: m.Messages(),
+	}
+}
+
+// Sub returns the counter deltas s minus prev. Used to isolate the cost of
+// one query on meters that persist across queries.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Bytes:    s.Bytes - prev.Bytes,
+		Busy:     s.Busy - prev.Busy,
+		Ops:      s.Ops - prev.Ops,
+		Messages: s.Messages - prev.Messages,
+	}
+}
+
+// MeterSet is a named collection of meters, used by topologies to expose
+// per-device and per-link accounting by name.
+type MeterSet struct {
+	mu     sync.Mutex
+	meters map[string]*Meter
+}
+
+// NewMeterSet returns an empty MeterSet.
+func NewMeterSet() *MeterSet {
+	return &MeterSet{meters: make(map[string]*Meter)}
+}
+
+// Get returns the meter registered under name, creating it on first use.
+func (s *MeterSet) Get(name string) *Meter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.meters[name]
+	if !ok {
+		m = &Meter{}
+		s.meters[name] = m
+	}
+	return m
+}
+
+// Names returns the registered meter names in sorted order.
+func (s *MeterSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.meters))
+	for n := range s.meters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetAll zeroes every registered meter.
+func (s *MeterSet) ResetAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.meters {
+		m.Reset()
+	}
+}
+
+// Snapshots returns a copy of every meter's counters keyed by name.
+func (s *MeterSet) Snapshots() map[string]Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Snapshot, len(s.meters))
+	for n, m := range s.meters {
+		out[n] = m.Snapshot()
+	}
+	return out
+}

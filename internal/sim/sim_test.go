@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateTimeFor(t *testing.T) {
+	tests := []struct {
+		name string
+		rate Rate
+		n    Bytes
+		want VTime
+	}{
+		{"one GB at 1GB/s", GBPerSec, 1e9, Second},
+		{"half GB at 1GB/s", GBPerSec, 5e8, 500 * Millisecond},
+		{"zero bytes", GBPerSec, 0, 0},
+		{"negative bytes", GBPerSec, -5, 0},
+		{"zero rate is free", 0, GB, 0},
+		{"100Gb NIC moves 12.5GB in 1s", GbitPerSec(100), 12_500_000_000, Second},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.rate.TimeFor(tc.n)
+			// Allow a 1-ppm slack for float rounding.
+			diff := got - tc.want
+			if diff < 0 {
+				diff = -diff
+			}
+			if tc.want == 0 && got != 0 {
+				t.Fatalf("TimeFor(%v) = %v, want 0", tc.n, got)
+			}
+			if tc.want != 0 && float64(diff)/float64(tc.want) > 1e-6 {
+				t.Fatalf("TimeFor(%v) = %v, want %v", tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.5s" {
+		t.Fatalf("String() = %q, want 1.5s", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KiB"},
+		{3 * MB, "3.00MiB"},
+		{GB, "1.00GiB"},
+	}
+	for _, tc := range tests {
+		if got := tc.b.String(); got != tc.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMeterBasics(t *testing.T) {
+	var m Meter
+	m.AddBytes(100)
+	m.AddBytes(50)
+	m.AddBusy(10 * Millisecond)
+	m.AddOps(3)
+	m.AddMessages(7)
+
+	if got := m.Bytes(); got != 150 {
+		t.Errorf("Bytes() = %d, want 150", got)
+	}
+	if got := m.Busy(); got != 10*Millisecond {
+		t.Errorf("Busy() = %v, want 10ms", got)
+	}
+	if got := m.Ops(); got != 3 {
+		t.Errorf("Ops() = %d, want 3", got)
+	}
+	if got := m.Messages(); got != 7 {
+		t.Errorf("Messages() = %d, want 7", got)
+	}
+
+	snap := m.Snapshot()
+	m.AddBytes(25)
+	delta := m.Snapshot().Sub(snap)
+	if delta.Bytes != 25 || delta.Ops != 0 {
+		t.Errorf("Sub delta = %+v, want Bytes:25", delta)
+	}
+
+	m.Reset()
+	if m.Bytes() != 0 || m.Busy() != 0 || m.Ops() != 0 || m.Messages() != 0 {
+		t.Error("Reset did not zero all counters")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	const workers, perWorker = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				m.AddBytes(1)
+				m.AddMessages(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Bytes(); got != workers*perWorker {
+		t.Errorf("concurrent Bytes() = %d, want %d", got, workers*perWorker)
+	}
+	if got := m.Messages(); got != 2*workers*perWorker {
+		t.Errorf("concurrent Messages() = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestMeterSet(t *testing.T) {
+	set := NewMeterSet()
+	set.Get("b").AddBytes(1)
+	set.Get("a").AddBytes(2)
+	set.Get("a").AddBytes(3) // same meter again
+
+	if got := set.Get("a").Bytes(); got != 5 {
+		t.Errorf("meter a Bytes() = %d, want 5", got)
+	}
+	names := set.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v, want [a b]", names)
+	}
+	snaps := set.Snapshots()
+	if snaps["a"].Bytes != 5 || snaps["b"].Bytes != 1 {
+		t.Errorf("Snapshots() = %v", snaps)
+	}
+	set.ResetAll()
+	if set.Get("a").Bytes() != 0 {
+		t.Error("ResetAll did not zero meters")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero state")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		if v := r.Int63n(100); v < 0 || v >= 100 {
+			t.Fatalf("Int63n(100) = %d out of range", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63() = %d negative", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Property(t *testing.T) {
+	// Property: Float64 stays in [0,1) regardless of seed.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(99)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf value %d out of [0,1000)", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate: with s=1 over 1000 values its share is
+	// 1/H(1000) ~ 13%; check it exceeds 8% and exceeds rank 10 clearly.
+	if counts[0] < draws*8/100 {
+		t.Errorf("rank-0 count %d too small for Zipf skew", counts[0])
+	}
+	if counts[0] <= counts[10]*2 {
+		t.Errorf("rank 0 (%d) not clearly above rank 10 (%d)", counts[0], counts[10])
+	}
+}
+
+func TestZipfExponentTwo(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(r, 2.0, 100)
+	var zeroes int
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf value %d out of range", v)
+		}
+		if v == 0 {
+			zeroes++
+		}
+	}
+	// With s=2, rank 0 has share 1/zeta(2,100) ~ 61%.
+	if zeroes < draws/2 {
+		t.Errorf("rank-0 share %d/%d too small for s=2", zeroes, draws)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, tc := range []struct {
+		s float64
+		n int64
+	}{{0, 10}, {-1, 10}, {1, 0}, {1, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%v,n=%v) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(r, tc.s, tc.n)
+		}()
+	}
+}

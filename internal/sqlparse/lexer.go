@@ -1,0 +1,160 @@
+// Package sqlparse provides a small SQL front-end for the engine: it
+// parses a restricted SELECT dialect into plan.Query values, resolving
+// column names against the catalog. Supported grammar:
+//
+//	SELECT select_list FROM table [WHERE predicate]
+//	       [GROUP BY column_list] [ORDER BY n] [LIMIT n]
+//
+//	select_list := '*' | item (',' item)*
+//	item        := column | COUNT(*) | SUM(column) | MIN(column)
+//	             | MAX(column) | AVG(column)
+//	predicate   := disjunctions/conjunctions/NOT over comparisons,
+//	               BETWEEN, and LIKE '%...%'
+//
+// The dialect covers exactly what the engine executes; anything else is
+// rejected with a positioned error.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = != <> < <= > >=
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	input  string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			ch := l.input[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+	case c == '<':
+		if l.pos+1 < len(l.input) && (l.input[l.pos+1] == '=' || l.input[l.pos+1] == '>') {
+			op := l.input[l.pos : l.pos+2]
+			l.pos += 2
+			return token{kind: tokOp, text: op, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case c == '-' || c >= '0' && c <= '9':
+		l.pos++
+		for l.pos < len(l.input) && (l.input[l.pos] >= '0' && l.input[l.pos] <= '9' || l.input[l.pos] == '.') {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if text == "-" {
+			return token{}, fmt.Errorf("sql: lone '-' at offset %d", start)
+		}
+		return token{kind: tokNumber, text: text, pos: start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

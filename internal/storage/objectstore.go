@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ObjectStore is the cloud object store: a flat key space of immutable
+// blobs. The paper stresses that real cloud storage is object storage,
+// not block devices (Section 3.2); the engine's tables live here as
+// marshalled segments.
+type ObjectStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	Meter   sim.Meter
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{objects: make(map[string][]byte)}
+}
+
+// Put stores a blob under key, replacing any previous value.
+func (o *ObjectStore) Put(key string, data []byte) {
+	cp := append([]byte(nil), data...)
+	o.mu.Lock()
+	o.objects[key] = cp
+	o.mu.Unlock()
+	o.Meter.AddOps(1)
+}
+
+// Get returns the blob stored under key. The returned slice must not be
+// modified.
+func (o *ObjectStore) Get(key string) ([]byte, error) {
+	o.mu.RLock()
+	data, ok := o.objects[key]
+	o.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: object %q not found", key)
+	}
+	o.Meter.AddOps(1)
+	o.Meter.AddBytes(sim.Bytes(len(data)))
+	return data, nil
+}
+
+// Size returns the byte size of the object under key without charging a
+// read, or -1 if absent. Metadata operations are free in the model.
+func (o *ObjectStore) Size(key string) sim.Bytes {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	data, ok := o.objects[key]
+	if !ok {
+		return -1
+	}
+	return sim.Bytes(len(data))
+}
+
+// Delete removes the object under key; deleting a missing key is a no-op.
+func (o *ObjectStore) Delete(key string) {
+	o.mu.Lock()
+	delete(o.objects, key)
+	o.mu.Unlock()
+}
+
+// List returns all keys with the given prefix in sorted order.
+func (o *ObjectStore) List(prefix string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var keys []string
+	for k := range o.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalBytes reports the cumulative size of all stored objects.
+func (o *ObjectStore) TotalBytes() sim.Bytes {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var n sim.Bytes
+	for _, d := range o.objects {
+		n += sim.Bytes(len(d))
+	}
+	return n
+}
+
+// NumObjects reports the number of stored objects.
+func (o *ObjectStore) NumObjects() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.objects)
+}

@@ -1,0 +1,169 @@
+// Package storage implements the disaggregated storage layer of the
+// paper's Section 3: an object store holding encoded columnar segments
+// with zone-map statistics, and a storage server whose in-storage
+// processor can execute projection, selection, regex matching and
+// bounded-state pre-aggregation in a streaming fashion before data ever
+// leaves the storage node (Figure 2).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/encoding"
+	"repro/internal/sim"
+)
+
+// Segment is one horizontal partition of a table in encoded form. It is
+// the unit of storage, pruning and scanning.
+type Segment struct {
+	ID      int
+	Schema  *columnar.Schema
+	NumRows int
+	Columns []*encoding.EncodedColumn // one per schema field
+}
+
+// BuildSegment encodes a batch into a segment.
+func BuildSegment(id int, b *columnar.Batch) *Segment {
+	s := &Segment{ID: id, Schema: b.Schema(), NumRows: b.NumRows()}
+	s.Columns = make([]*encoding.EncodedColumn, b.NumCols())
+	for i := 0; i < b.NumCols(); i++ {
+		s.Columns[i] = encoding.EncodeColumn(b.Col(i))
+	}
+	return s
+}
+
+// EncodedSize is the segment's on-media footprint: what a scan reads and
+// what ships when data moves compressed.
+func (s *Segment) EncodedSize() sim.Bytes {
+	var n int64
+	for _, c := range s.Columns {
+		n += c.EncodedSize()
+	}
+	return sim.Bytes(n)
+}
+
+// DecodedSize is the in-memory footprint after decoding: what ships when
+// data moves uncompressed and what filters must stream through.
+func (s *Segment) DecodedSize() sim.Bytes {
+	var n int64
+	for i, c := range s.Columns {
+		n += decodedColSize(s.Schema.Fields[i].Type, c)
+	}
+	return sim.Bytes(n)
+}
+
+// ColumnDecodedSize reports the decoded footprint of a subset of columns,
+// which is what projection pushdown saves.
+func (s *Segment) ColumnDecodedSize(indices []int) sim.Bytes {
+	var n int64
+	for _, i := range indices {
+		n += decodedColSize(s.Schema.Fields[i].Type, s.Columns[i])
+	}
+	return sim.Bytes(n)
+}
+
+func decodedColSize(t columnar.Type, c *encoding.EncodedColumn) int64 {
+	switch t {
+	case columnar.Int64, columnar.Float64:
+		return int64(c.Stats.NumValues) * 8
+	case columnar.Bool:
+		return int64(c.Stats.NumValues)
+	case columnar.String:
+		// Approximate: decoded strings cost roughly their plain
+		// encoding; dictionary-encoded columns expand on decode.
+		return int64(len(c.Data)+len(c.Nulls)) * 2
+	}
+	return int64(len(c.Data))
+}
+
+// Decode reconstructs the full segment as a batch, verifying checksums.
+func (s *Segment) Decode() (*columnar.Batch, error) {
+	return s.DecodeColumns(allIndices(len(s.Columns)))
+}
+
+// DecodeColumns reconstructs only the requested columns (projection
+// applied during decode, which is how columnar scans avoid touching
+// pruned columns at all).
+func (s *Segment) DecodeColumns(indices []int) (*columnar.Batch, error) {
+	vecs := make([]*columnar.Vector, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(s.Columns) {
+			return nil, fmt.Errorf("storage: column %d out of range in segment %d", idx, s.ID)
+		}
+		v, err := s.Columns[idx].Decode()
+		if err != nil {
+			return nil, fmt.Errorf("storage: segment %d column %d: %w", s.ID, idx, err)
+		}
+		vecs[i] = v
+	}
+	return columnar.BatchOf(s.Schema.Project(indices), vecs...), nil
+}
+
+// PruneInt reports whether the segment can be skipped for a predicate
+// that restricts column col to [lo, hi]: true means the zone map proves
+// no row matches.
+func (s *Segment) PruneInt(col int, lo, hi int64) bool {
+	if col < 0 || col >= len(s.Columns) {
+		return false
+	}
+	return !s.Columns[col].Stats.OverlapsInt(lo, hi)
+}
+
+// Marshal serializes the segment into a self-contained blob.
+func (s *Segment) Marshal() []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(s.ID))
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.NumRows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Columns)))
+	for i, f := range s.Schema.Fields {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(f.Name)))
+		out = append(out, f.Name...)
+		out = append(out, byte(f.Type))
+		out = append(out, s.Columns[i].Marshal()...)
+	}
+	return out
+}
+
+// UnmarshalSegment parses a blob produced by Marshal.
+func UnmarshalSegment(data []byte) (*Segment, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: segment header truncated", encoding.ErrCorrupt)
+	}
+	s := &Segment{
+		ID:      int(binary.LittleEndian.Uint32(data)),
+		NumRows: int(binary.LittleEndian.Uint32(data[4:])),
+	}
+	ncols := int(binary.LittleEndian.Uint32(data[8:]))
+	data = data[12:]
+	s.Schema = &columnar.Schema{}
+	for i := 0; i < ncols; i++ {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: segment field truncated", encoding.ErrCorrupt)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < nameLen+1 {
+			return nil, fmt.Errorf("%w: segment field name truncated", encoding.ErrCorrupt)
+		}
+		name := string(data[:nameLen])
+		typ := columnar.Type(data[nameLen])
+		data = data[nameLen+1:]
+		s.Schema.Fields = append(s.Schema.Fields, columnar.Field{Name: name, Type: typ})
+		col, used, err := encoding.UnmarshalColumn(data)
+		if err != nil {
+			return nil, err
+		}
+		data = data[used:]
+		s.Columns = append(s.Columns, col)
+	}
+	return s, nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

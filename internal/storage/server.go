@@ -1,0 +1,445 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/columnar"
+	"repro/internal/expr"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// TableMeta describes one table stored as a series of segment objects.
+type TableMeta struct {
+	Name        string
+	Schema      *columnar.Schema
+	SegmentKeys []string
+	NumRows     int64
+}
+
+// ScanSpec describes one scan request sent to the storage server.
+// Column indices refer to the table schema.
+type ScanSpec struct {
+	// Projection lists the columns to return, in order; nil means all.
+	Projection []int
+	// Filter restricts returned rows; nil means none.
+	Filter expr.Predicate
+	// PreAgg, when non-nil, asks the storage processor to pre-aggregate
+	// (Section 4.4). The scan then emits partial batches
+	// (expr.PartialSchema) instead of raw rows, and Projection is
+	// ignored.
+	PreAgg *expr.GroupBy
+	// Pushdown executes Filter/Projection/PreAgg on the storage
+	// processor (Figure 2). Without it the scan ships every needed
+	// column of every live row and filtering happens at the consumer.
+	Pushdown bool
+	// DisablePruning turns zone-map pruning off, modelling a legacy
+	// engine that reads everything (used as the Figure 1 baseline).
+	DisablePruning bool
+	// BatchRows bounds the rows per emitted batch so consumers stream
+	// with bounded in-flight memory; 0 means DefaultBatchRows.
+	BatchRows int
+}
+
+// DefaultBatchRows is the streaming granule when ScanSpec.BatchRows is
+// unset.
+const DefaultBatchRows = 4096
+
+// ShippedColumns reports which table-schema columns the scan's emitted
+// batches contain, in order. With pushdown it is the projection; without,
+// the union of projection and filter columns in ascending table order.
+// Consumers use it to rebase predicates onto the shipped batches.
+func (spec ScanSpec) ShippedColumns(numFields int) []int {
+	projection := spec.Projection
+	if projection == nil {
+		projection = allIndices(numFields)
+	}
+	if spec.Pushdown {
+		return projection
+	}
+	return neededColumns(projection, spec.Filter, spec.PreAgg, false)
+}
+
+// ScanStats reports what one scan did, the per-experiment evidence for
+// the data-movement claims.
+type ScanStats struct {
+	SegmentsTotal  int
+	SegmentsPruned int
+	MediaBytes     sim.Bytes // encoded bytes read from media
+	ShippedBytes   sim.Bytes // payload bytes leaving the storage server
+	ShippedRows    int64
+	ProcTime       sim.VTime // busy time on the storage processor
+}
+
+// Server is the storage node: an object store behind media and an
+// in-storage processor. Whether the processor may execute pushed-down
+// work is a property of the device's capabilities, so the same server
+// code serves both the smart and the legacy experiments.
+type Server struct {
+	mu     sync.RWMutex
+	store  *ObjectStore
+	tables map[string]*TableMeta
+
+	media     *fabric.Device
+	proc      *fabric.Device
+	mediaLink *fabric.Link
+
+	// SegmentRows is the number of rows per segment for newly ingested
+	// data.
+	SegmentRows int
+}
+
+// NewServer wires a storage server onto fabric devices: media (charged
+// OpScan), proc (charged decode and pushed-down ops) and the media->proc
+// link.
+func NewServer(store *ObjectStore, media, proc *fabric.Device, mediaLink *fabric.Link) *Server {
+	return &Server{
+		store:       store,
+		tables:      make(map[string]*TableMeta),
+		media:       media,
+		proc:        proc,
+		mediaLink:   mediaLink,
+		SegmentRows: 1 << 16,
+	}
+}
+
+// Proc exposes the in-storage processor device.
+func (s *Server) Proc() *fabric.Device { return s.proc }
+
+// Store exposes the backing object store.
+func (s *Server) Store() *ObjectStore { return s.store }
+
+// CreateTable registers an empty table. Creating an existing table is an
+// error.
+func (s *Server) CreateTable(name string, schema *columnar.Schema) (*TableMeta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := &TableMeta{Name: name, Schema: schema}
+	s.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table and its segment objects.
+func (s *Server) DropTable(name string) {
+	s.mu.Lock()
+	t := s.tables[name]
+	delete(s.tables, name)
+	s.mu.Unlock()
+	if t != nil {
+		for _, k := range t.SegmentKeys {
+			s.store.Delete(k)
+		}
+	}
+}
+
+// Table returns the metadata of a table, or an error if unknown.
+func (s *Server) Table(name string) (*TableMeta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists table names in sorted order.
+func (s *Server) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Append ingests a batch into the table, splitting it into segments of
+// SegmentRows rows.
+func (s *Server) Append(table string, b *columnar.Batch) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	if !b.Schema().Equal(t.Schema) {
+		return fmt.Errorf("storage: batch schema %s does not match table %s", b.Schema(), t.Schema)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for off := 0; off < b.NumRows(); off += s.SegmentRows {
+		end := off + s.SegmentRows
+		if end > b.NumRows() {
+			end = b.NumRows()
+		}
+		segID := len(t.SegmentKeys)
+		seg := BuildSegment(segID, b.Slice(off, end))
+		key := fmt.Sprintf("%s/seg-%06d", table, segID)
+		s.store.Put(key, seg.Marshal())
+		t.SegmentKeys = append(t.SegmentKeys, key)
+		t.NumRows += int64(end - off)
+	}
+	return nil
+}
+
+// Scan executes a scan, invoking emit once per produced batch in segment
+// order. The emitted batch schema is the projected table schema, or the
+// partial-aggregation schema when PreAgg is set.
+func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) error) (ScanStats, error) {
+	var stats ScanStats
+	t, err := s.Table(table)
+	if err != nil {
+		return stats, err
+	}
+	if spec.Pushdown {
+		if err := s.checkPushdown(spec); err != nil {
+			return stats, err
+		}
+	}
+
+	projection := spec.Projection
+	if projection == nil {
+		projection = allIndices(t.Schema.NumFields())
+	}
+	needed := neededColumns(projection, spec.Filter, spec.PreAgg, spec.Pushdown)
+	pos := make(map[int]int, len(needed)) // table index -> decoded position
+	for i, c := range needed {
+		pos[c] = i
+	}
+	rebase := func(c int) int { return pos[c] }
+
+	var filter expr.Predicate
+	if spec.Filter != nil {
+		filter = expr.Rebase(spec.Filter, rebase)
+	}
+	var preagg *expr.PartialAggregator
+	if spec.Pushdown && spec.PreAgg != nil {
+		decodedSchema := t.Schema.Project(needed)
+		budget := int(s.proc.StateBudget / expr.StateSize)
+		if s.proc.StateBudget == 0 {
+			budget = 0
+		}
+		preagg = expr.NewPartialAggregator(spec.PreAgg.Rebase(rebase), decodedSchema, budget)
+	}
+
+	// Positions of the projection within the decoded batch.
+	projPos := make([]int, len(projection))
+	for i, c := range projection {
+		projPos[i] = pos[c]
+	}
+
+	procStart := s.proc.Meter.Busy()
+	stats.SegmentsTotal = len(t.SegmentKeys)
+
+	batchRows := spec.BatchRows
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	emitTracked := func(b *columnar.Batch) error {
+		stats.ShippedBytes += sim.Bytes(b.ByteSize())
+		stats.ShippedRows += int64(b.NumRows())
+		for off := 0; off < b.NumRows(); off += batchRows {
+			end := off + batchRows
+			if end > b.NumRows() {
+				end = b.NumRows()
+			}
+			if err := emit(b.Slice(off, end)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, key := range t.SegmentKeys {
+		blob, err := s.store.Get(key)
+		if err != nil {
+			return stats, err
+		}
+		seg, err := UnmarshalSegment(blob)
+		if err != nil {
+			return stats, fmt.Errorf("storage: %s: %w", key, err)
+		}
+
+		if !spec.DisablePruning && s.pruned(seg, spec.Filter) {
+			stats.SegmentsPruned++
+			continue
+		}
+
+		// Media reads only the needed column chunks (columnar layout +
+		// range reads), then the processor decodes them.
+		var encoded sim.Bytes
+		for _, c := range needed {
+			encoded += sim.Bytes(seg.Columns[c].EncodedSize())
+		}
+		stats.MediaBytes += encoded
+		s.media.Charge(fabric.OpScan, encoded)
+		if s.mediaLink != nil {
+			s.mediaLink.Transfer(encoded)
+		}
+		s.proc.Charge(fabric.OpDecompress, encoded)
+
+		batch, err := seg.DecodeColumns(needed)
+		if err != nil {
+			return stats, err
+		}
+
+		if spec.Pushdown && filter != nil {
+			s.proc.Charge(fabric.OpFilter, seg.ColumnDecodedSize(spec.Filter.Columns()))
+			batch = batch.Filter(filter.Eval(batch))
+		}
+
+		if preagg != nil {
+			s.proc.Charge(fabric.OpPreAgg, sim.Bytes(batch.ByteSize()))
+			for _, spill := range preagg.AddRaw(batch) {
+				if err := emitTracked(spill); err != nil {
+					return stats, err
+				}
+			}
+			continue
+		}
+
+		// Without pushdown the consumer evaluates the filter, so every
+		// needed column ships in sorted table order; with pushdown only
+		// the projection leaves the node.
+		out := batch
+		if spec.Pushdown {
+			out = batch.Project(projPos)
+			if len(projection) < t.Schema.NumFields() {
+				s.proc.Charge(fabric.OpProject, sim.Bytes(out.ByteSize()))
+			}
+		}
+		if out.NumRows() > 0 {
+			if err := emitTracked(out); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	if preagg != nil {
+		if tail := preagg.Flush(); tail != nil {
+			if err := emitTracked(tail); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	stats.ProcTime = s.proc.Meter.Busy() - procStart
+	return stats, nil
+}
+
+// checkPushdown verifies the processor can host the requested offloads,
+// surfacing planner mistakes as errors rather than silent fallbacks.
+func (s *Server) checkPushdown(spec ScanSpec) error {
+	if spec.Filter != nil && !s.proc.Can(fabric.OpFilter) {
+		return fmt.Errorf("storage: processor %s cannot execute pushed-down filters", s.proc.Name)
+	}
+	if needsRegex(spec.Filter) && !s.proc.Can(fabric.OpRegexMatch) {
+		return fmt.Errorf("storage: processor %s cannot execute pushed-down LIKE", s.proc.Name)
+	}
+	if spec.PreAgg != nil && !s.proc.Can(fabric.OpPreAgg) {
+		return fmt.Errorf("storage: processor %s cannot execute pushed-down pre-aggregation", s.proc.Name)
+	}
+	return nil
+}
+
+func needsRegex(p expr.Predicate) bool {
+	switch t := p.(type) {
+	case nil:
+		return false
+	case *expr.Like:
+		return true
+	case *expr.And:
+		for _, sub := range t.Preds {
+			if needsRegex(sub) {
+				return true
+			}
+		}
+	case *expr.Or:
+		for _, sub := range t.Preds {
+			if needsRegex(sub) {
+				return true
+			}
+		}
+	case *expr.Not:
+		return needsRegex(t.Pred)
+	}
+	return false
+}
+
+// pruned reports whether zone maps prove no row of seg matches filter.
+func (s *Server) pruned(seg *Segment, filter expr.Predicate) bool {
+	if filter == nil {
+		return false
+	}
+	for _, col := range filter.Columns() {
+		if seg.Schema.Fields[col].Type != columnar.Int64 {
+			continue
+		}
+		if lo, hi, ok := expr.IntRange(filter, col); ok && seg.PruneInt(col, lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// neededColumns unions the projection with the filter and pre-agg
+// columns. Without pushdown the consumer evaluates the filter, so its
+// columns must ship too.
+func neededColumns(projection []int, filter expr.Predicate, preagg *expr.GroupBy, pushdown bool) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(c int) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if preagg != nil && pushdown {
+		// Pre-agg replaces projection entirely.
+		for _, c := range preagg.GroupCols {
+			add(c)
+		}
+		for _, a := range preagg.Aggs {
+			if a.Func != expr.Count {
+				add(a.Col)
+			}
+		}
+		if filter != nil {
+			for _, c := range filter.Columns() {
+				add(c)
+			}
+		}
+		if len(out) == 0 {
+			// A pure COUNT(*) pre-aggregation touches no columns; one
+			// narrow column must still be decoded to drive row counts.
+			add(0)
+		}
+		sort.Ints(out)
+		return out
+	}
+	for _, c := range projection {
+		add(c)
+	}
+	if filter != nil {
+		for _, c := range filter.Columns() {
+			add(c)
+		}
+	}
+	if preagg != nil {
+		for _, c := range preagg.GroupCols {
+			add(c)
+		}
+		for _, a := range preagg.Aggs {
+			if a.Func != expr.Count {
+				add(a.Col)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
