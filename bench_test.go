@@ -239,6 +239,23 @@ func BenchmarkE18HTAPTranspose(b *testing.B) {
 	b.ReportMetric(gain, "transpose-speedup")
 }
 
+func BenchmarkE19Availability(b *testing.B) {
+	var dfOK, voOK, inflation float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E19Availability(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := res.Rows[len(res.Rows)-1]
+		dfOK = float64(top.DFOK) / float64(top.Total)
+		voOK = float64(top.VoOK) / float64(top.Total)
+		inflation = top.DFInflation
+	}
+	b.ReportMetric(dfOK, "df-success@5%")
+	b.ReportMetric(voOK, "volcano-success@5%")
+	b.ReportMetric(inflation, "df-makespan-inflation@5%")
+}
+
 func BenchmarkA1WireCompression(b *testing.B) {
 	var crossover float64
 	for i := 0; i < b.N; i++ {

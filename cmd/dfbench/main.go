@@ -168,6 +168,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E19", "availability under injected faults (robustness)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E19Availability(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {

@@ -1,14 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/encoding"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -33,10 +36,24 @@ type DataFlowEngine struct {
 	// payload.
 	SecureWire bool
 
+	// Faults, when set, is consulted by the flow runtime for mid-query
+	// device-offline faults (storage-level faults are armed on the
+	// object store directly).
+	Faults *faults.Injector
+	// StageTimeout arms the pipeline watchdog; 0 disables it.
+	StageTimeout time.Duration
+	// MaxRecoveryAttempts bounds how many times ExecuteOn will retry or
+	// fail over one query; 0 means DefaultMaxRecoveryAttempts.
+	MaxRecoveryAttempts int
+
 	mu    sync.Mutex
 	stats map[string]plan.TableStats
 	paths map[int]plan.PathModel
 }
+
+// DefaultMaxRecoveryAttempts bounds per-query recovery: enough to lose
+// every accelerator tier on the path and still land on the CPU plan.
+const DefaultMaxRecoveryAttempts = 5
 
 // NewDataFlowEngine wires an engine onto a cluster.
 func NewDataFlowEngine(c *fabric.Cluster) *DataFlowEngine {
@@ -119,6 +136,13 @@ func (e *DataFlowEngine) path(node int) (plan.PathModel, error) {
 
 // Plan enumerates ranked plan variants for a query on the given node.
 func (e *DataFlowEngine) Plan(q *plan.Query, node int) ([]*plan.Physical, error) {
+	return e.PlanExcluding(q, node, nil)
+}
+
+// PlanExcluding enumerates ranked plan variants that place no operator
+// on the excluded (or offline) devices; the failover path uses it to
+// re-plan around a device that just failed.
+func (e *DataFlowEngine) PlanExcluding(q *plan.Query, node int, exclude map[string]bool) ([]*plan.Physical, error) {
 	st, err := e.Stats(q.Table)
 	if err != nil {
 		return nil, err
@@ -127,7 +151,7 @@ func (e *DataFlowEngine) Plan(q *plan.Query, node int) ([]*plan.Physical, error)
 	if err != nil {
 		return nil, err
 	}
-	opt := &plan.Optimizer{Path: pm}
+	opt := &plan.Optimizer{Path: pm, Exclude: exclude}
 	return opt.Enumerate(q, st)
 }
 
@@ -136,18 +160,86 @@ func (e *DataFlowEngine) Execute(q *plan.Query) (*Result, error) {
 	return e.ExecuteOn(q, 0)
 }
 
-// ExecuteOn plans, schedules and runs a query on the given compute node.
+// ExecuteOn plans, schedules and runs a query on the given compute node,
+// recovering from runtime faults. A failed device (StageError naming it)
+// triggers failover: the device is excluded, placements re-enumerated —
+// degrading to the CPU-only plan in the worst case — and the query
+// re-admitted and re-executed. Transient faults (link flaps, exhausted
+// storage retry budgets) re-execute on the same placements. The work an
+// abandoned attempt burned is measured by meter deltas and reported as
+// RecoveryBytes/RecoveryTime.
 func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
-	variants, err := e.Plan(q, node)
-	if err != nil {
-		return nil, err
+	maxAttempts := e.MaxRecoveryAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxRecoveryAttempts
 	}
-	adm, err := e.Scheduler.Admit(variants)
-	if err != nil {
-		return nil, err
+	exclude := make(map[string]bool)
+	var failovers int
+	var queryRetries int64
+	var wasteBytes sim.Bytes
+	var wasteTime sim.VTime
+
+	for attempt := 0; ; attempt++ {
+		variants, err := e.PlanExcluding(q, node, exclude)
+		if err != nil {
+			return nil, err
+		}
+		adm, err := e.Scheduler.Admit(variants)
+		if err != nil {
+			return nil, err
+		}
+		before := e.snapshotMeters()
+		res, err := func() (*Result, error) {
+			defer e.Scheduler.Release(adm)
+			return e.ExecutePlan(adm.Plan)
+		}()
+		if err == nil {
+			res.Stats.Retries += queryRetries
+			res.Stats.Failovers = failovers
+			res.Stats.DegradedPlacement = failovers > 0
+			res.Stats.RecoveryBytes += wasteBytes
+			res.Stats.RecoveryTime = wasteTime
+			return res, nil
+		}
+		wb, wt := e.meterDelta(before)
+		wasteBytes += wb
+		wasteTime += wt
+		if attempt+1 >= maxAttempts {
+			return nil, err
+		}
+		var se *flow.StageError
+		switch {
+		case errors.As(err, &se) && se.Device != "":
+			exclude[se.Device] = true
+			e.Scheduler.NoteFailover(se.Device)
+			failovers++
+		case faults.IsTransient(err):
+			queryRetries++
+		default:
+			return nil, err
+		}
 	}
-	defer e.Scheduler.Release(adm)
-	return e.ExecutePlan(adm.Plan)
+}
+
+// meterDelta sums the link payload and bottleneck busy time accumulated
+// since before — the wasted work of one abandoned attempt.
+func (e *DataFlowEngine) meterDelta(before map[meterKey]sim.Snapshot) (sim.Bytes, sim.VTime) {
+	var bytes sim.Bytes
+	var maxBusy sim.VTime
+	for _, d := range e.Cluster.Devices() {
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		if delta.Busy > maxBusy {
+			maxBusy = delta.Busy
+		}
+	}
+	for _, l := range e.Cluster.Links() {
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		bytes += delta.Bytes
+		if delta.Busy > maxBusy {
+			maxBusy = delta.Busy
+		}
+	}
+	return bytes, maxBusy
 }
 
 // ExecutePlan runs one specific physical plan variant, bypassing the
@@ -185,8 +277,10 @@ func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
 			scanStats = st
 			return err
 		},
-		Stages: stages,
-		Paths:  paths,
+		Stages:       stages,
+		Paths:        paths,
+		StageTimeout: e.StageTimeout,
+		Faults:       e.Faults,
 	}
 
 	var result Result
@@ -481,13 +575,16 @@ func (e *DataFlowEngine) snapshotMeters() map[meterKey]sim.Snapshot {
 // buildStats derives the execution stats from meter deltas.
 func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]sim.Snapshot, flowRes flow.Result, scan storage.ScanStats, maxBatch sim.Bytes, res *Result) ExecStats {
 	st := ExecStats{
-		Engine:     "dataflow",
-		Variant:    ph.Variant,
-		LinkBytes:  make(map[string]sim.Bytes),
-		DeviceBusy: make(map[string]sim.VTime),
-		Scan:       scan,
-		Ports:      flowRes.Ports,
-		ResultRows: res.Rows(),
+		Engine:           "dataflow",
+		Variant:          ph.Variant,
+		LinkBytes:        make(map[string]sim.Bytes),
+		DeviceBusy:       make(map[string]sim.VTime),
+		Scan:             scan,
+		Ports:            flowRes.Ports,
+		ResultRows:       res.Rows(),
+		Retries:          scan.Retries,
+		ReplicaFallbacks: scan.ReplicaFallbacks,
+		RecoveryBytes:    scan.RetryBytes,
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {

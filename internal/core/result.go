@@ -100,6 +100,29 @@ type ExecStats struct {
 	PeakMemory sim.Bytes
 	// ResultRows is the number of rows returned.
 	ResultRows int64
+
+	// Recovery accounting. Availability is not free: every retry,
+	// fallback and failover burns real media, link and device work that
+	// E19 reports against the fault rate.
+
+	// Retries counts read attempts repeated after transient or corrupt
+	// faults (storage level) plus whole-query re-executions after
+	// transient pipeline faults (engine level).
+	Retries int64
+	// ReplicaFallbacks counts object reads served past replica 0.
+	ReplicaFallbacks int64
+	// Failovers counts engine-level plan re-enumerations after a device
+	// failed mid-query.
+	Failovers int
+	// DegradedPlacement reports that the answer was produced on a
+	// fallback placement that avoids at least one failed device (the
+	// CPU-only plan in the worst case).
+	DegradedPlacement bool
+	// RecoveryBytes is the payload recovery moved again: storage re-reads
+	// plus all link traffic of abandoned pipeline attempts.
+	RecoveryBytes sim.Bytes
+	// RecoveryTime is the virtual busy time burned by abandoned attempts.
+	RecoveryTime sim.VTime
 }
 
 // String summarizes the stats on a few lines.
@@ -111,6 +134,11 @@ func (s ExecStats) String() string {
 	}
 	fmt.Fprintf(&b, ": rows=%d moved=%s cpu=%s simtime=%s peakmem=%s\n",
 		s.ResultRows, s.MovedBytes, s.CPUBytes, s.SimTime, s.PeakMemory)
+	if s.Retries > 0 || s.ReplicaFallbacks > 0 || s.Failovers > 0 {
+		fmt.Fprintf(&b, "  recovery: retries=%d fallbacks=%d failovers=%d degraded=%v waste=%s/%s\n",
+			s.Retries, s.ReplicaFallbacks, s.Failovers, s.DegradedPlacement,
+			s.RecoveryBytes, s.RecoveryTime)
+	}
 	names := make([]string, 0, len(s.LinkBytes))
 	for n := range s.LinkBytes {
 		names = append(names, n)

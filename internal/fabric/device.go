@@ -1,11 +1,18 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
+
+// ErrDeviceOffline is surfaced when a pipeline stage is placed on a
+// device that has gone offline (lost power, dropped its kernel). The
+// engine reacts by re-enumerating placements without the device.
+var ErrDeviceOffline = errors.New("fabric: device offline")
 
 // DeviceKind classifies the processing elements of the fabric.
 type DeviceKind uint8
@@ -65,7 +72,19 @@ type Device struct {
 	// be mostly stateless). Zero means unbounded (CPUs).
 	StateBudget sim.Bytes
 	Meter       sim.Meter
+
+	offline atomic.Bool
 }
+
+// SetOffline marks the device dead (true) or restored (false). An
+// offline device cannot host pipeline stages: the planner skips it when
+// enumerating placements and the flow runtime fails any stage already
+// placed on it, triggering engine-level failover. Links still forward
+// through it — a dead kernel does not stop the bump-in-the-wire path.
+func (d *Device) SetOffline(v bool) { d.offline.Store(v) }
+
+// IsOffline reports whether the device is currently offline.
+func (d *Device) IsOffline() bool { return d.offline.Load() }
 
 // Can reports whether the device supports the op class.
 func (d *Device) Can(op OpClass) bool {

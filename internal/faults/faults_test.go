@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// driveInjector performs a fixed mixed sequence of Fire calls and
+// returns the rendered schedule.
+func driveInjector(in *Injector) string {
+	for i := 0; i < 500; i++ {
+		in.Fire(TransientRead, fmt.Sprintf("lineitem/seg-%06d", i%7))
+		if i%3 == 0 {
+			in.Fire(CorruptBlob, fmt.Sprintf("lineitem/seg-%06d", i%5))
+		}
+		if i%11 == 0 {
+			in.Fire(DeviceOffline, "storage.nic")
+		}
+		in.Fire(LinkFlap, "net.storage-c0")
+	}
+	return in.Schedule()
+}
+
+func armDefault(in *Injector) {
+	in.Arm(Point{Kind: TransientRead, Prob: 0.1})
+	in.Arm(Point{Kind: CorruptBlob, Target: "lineitem/", Prob: 0.05})
+	in.Arm(Point{Kind: DeviceOffline, Target: "storage.nic", Prob: 0.5, Budget: 2})
+	in.Arm(Point{Kind: LinkFlap, Prob: 0.02})
+}
+
+func TestSameSeedByteIdenticalSchedule(t *testing.T) {
+	a, b := New(0xE19), New(0xE19)
+	armDefault(a)
+	armDefault(b)
+	sa, sb := driveInjector(a), driveInjector(b)
+	if sa != sb {
+		t.Fatalf("same seed produced different schedules:\n--- a ---\n%s--- b ---\n%s", sa, sb)
+	}
+	if sa == "" {
+		t.Fatal("no faults fired at these probabilities over 500 rounds")
+	}
+
+	// Reset rewinds to the same schedule.
+	a.Reset()
+	if s := driveInjector(a); s != sa {
+		t.Fatalf("schedule after Reset diverged:\n%s\nvs\n%s", s, sa)
+	}
+
+	// A different seed gives a different schedule.
+	c := New(0xBEEF)
+	armDefault(c)
+	if driveInjector(c) == sa {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestUnmatchedChecksDoNotPerturbSchedule(t *testing.T) {
+	a, b := New(7), New(7)
+	armDefault(a)
+	armDefault(b)
+	// b sees extra checks of kinds/targets no point matches; they must
+	// not consume randomness.
+	for i := 0; i < 100; i++ {
+		b.Fire(SlowStage, "anything")
+		b.Fire(ObjectMissing, "orders/seg-000001")
+		b.Fire(CorruptBlob, "orders/seg-000002") // target mismatch
+	}
+	if sa, sb := driveInjector(a), driveInjector(b); sa != sb {
+		t.Fatalf("unmatched checks perturbed the schedule:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+func TestCrossPointInterleavingDoesNotPerturbSchedule(t *testing.T) {
+	a, b := New(7), New(7)
+	armDefault(a)
+	armDefault(b)
+	// a interleaves the checks of all points (as concurrent pipeline
+	// stages and the scan would); b performs the same per-point check
+	// sequences batched point by point. Per-point RNG streams make the
+	// two orderings produce the same schedule.
+	sa := driveInjector(a)
+	for i := 0; i < 500; i++ {
+		b.Fire(TransientRead, fmt.Sprintf("lineitem/seg-%06d", i%7))
+	}
+	for i := 0; i < 500; i += 3 {
+		b.Fire(CorruptBlob, fmt.Sprintf("lineitem/seg-%06d", i%5))
+	}
+	for i := 0; i < 500; i += 11 {
+		b.Fire(DeviceOffline, "storage.nic")
+	}
+	for i := 0; i < 500; i++ {
+		b.Fire(LinkFlap, "net.storage-c0")
+	}
+	if sb := b.Schedule(); sa != sb {
+		t.Fatalf("check interleaving across points perturbed the schedule:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+func TestBudgetAndTarget(t *testing.T) {
+	in := New(1)
+	in.Arm(Point{Kind: DeviceOffline, Target: "storage.nic", Prob: 1, Budget: 2})
+	if in.Fire(DeviceOffline, "c0.nic") {
+		t.Fatal("fired on a non-matching target")
+	}
+	if !in.Fire(DeviceOffline, "storage.nic") || !in.Fire(DeviceOffline, "storage.nic") {
+		t.Fatal("armed point did not fire within budget")
+	}
+	if in.Fire(DeviceOffline, "storage.nic") {
+		t.Fatal("fired past its budget")
+	}
+	if got := in.Fires(); got != 2 {
+		t.Fatalf("Fires() = %d, want 2", got)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want bool
+	}{
+		{TransientRead, true}, {ObjectMissing, true}, {LinkFlap, true},
+		{SlowStage, true}, {CorruptBlob, false}, {DeviceOffline, false},
+	}
+	for _, c := range cases {
+		err := fmt.Errorf("wrapped: %w", &FaultError{Kind: c.kind, Target: "x"})
+		if got := IsTransient(err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.kind, got, c.want)
+		}
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+}

@@ -1,0 +1,87 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/columnar"
+)
+
+// ErrStageTimeout marks a stage the watchdog declared hung: it held a
+// batch longer than the pipeline's StageTimeout without completing.
+var ErrStageTimeout = errors.New("flow: stage timed out")
+
+// StageError names the pipeline element whose runtime-detected fault
+// (offline device, watchdog timeout) failed the run. The engine uses
+// Device to re-enumerate placements without the failed device; errors
+// returned by stage logic itself propagate unwrapped.
+type StageError struct {
+	Pipeline string
+	Stage    string
+	Device   string
+	Err      error
+}
+
+// Error renders the failure with its location.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("flow: pipeline %s stage %s on %s: %v", e.Pipeline, e.Stage, e.Device, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// LinkError marks a data transfer aborted by a fault on a fabric link.
+type LinkError struct {
+	Link string
+	Err  error
+}
+
+// Error renders the failure with the link name.
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("flow: link %s: %v", e.Link, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// CancelAware lets a stage observe the pipeline's cancellation channel,
+// so long-blocking stages (sleeps, external waits) can abort promptly
+// when the run is torn down instead of leaking their goroutine.
+type CancelAware interface {
+	SetCancel(<-chan struct{})
+}
+
+// SlowStage wraps a stage with an injected processing delay, modelling a
+// degraded or hung device for watchdog tests and E19. When Fire is nil
+// the delay applies to every batch; otherwise only when Fire reports
+// true. The delay aborts cleanly on pipeline cancellation.
+type SlowStage struct {
+	Inner  Stage
+	Delay  time.Duration
+	Fire   func() bool
+	cancel <-chan struct{}
+}
+
+// Name reports the wrapped stage's name.
+func (s *SlowStage) Name() string { return s.Inner.Name() }
+
+// SetCancel implements CancelAware.
+func (s *SlowStage) SetCancel(c <-chan struct{}) { s.cancel = c }
+
+// Process delays (cancellably), then forwards to the wrapped stage.
+func (s *SlowStage) Process(b *columnar.Batch, emit Emit) error {
+	if s.Delay > 0 && (s.Fire == nil || s.Fire()) {
+		t := time.NewTimer(s.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.cancel:
+			return ErrCanceled
+		}
+	}
+	return s.Inner.Process(b, emit)
+}
+
+// Flush forwards to the wrapped stage.
+func (s *SlowStage) Flush(emit Emit) error { return s.Inner.Flush(emit) }

@@ -3,9 +3,12 @@ package flow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -54,6 +57,15 @@ type Pipeline struct {
 	// CreditBatch is how many credits accumulate before one return
 	// message; default Depth/2.
 	CreditBatch int
+	// StageTimeout bounds how long one stage may hold a batch (Process or
+	// Flush) before the watchdog cancels the run with a StageError
+	// wrapping ErrStageTimeout; 0 disables the watchdog.
+	StageTimeout time.Duration
+	// Faults, when set, is asked once per batch per stage whether the
+	// hosting device drops its kernel (faults.DeviceOffline) mid-stream.
+	// A fired fault marks the device offline and fails the stage, which
+	// is how E19 kills devices mid-query.
+	Faults *faults.Injector
 }
 
 // Result reports what a pipeline run did.
@@ -128,6 +140,20 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 	res.BatchesIn = make([]int64, len(p.Stages))
 	res.BatchesOut = make([]int64, len(p.Stages))
 
+	// Stages that block for long stretches (injected slowness, external
+	// waits) observe the cancellation channel so teardown never leaks a
+	// goroutine.
+	for _, st := range p.Stages {
+		if ca, ok := st.Stage.(CancelAware); ok {
+			ca.SetCancel(done)
+		}
+	}
+
+	// busySince[i] is the wall-clock nanosecond at which stage i last
+	// began holding a batch (Process or Flush), 0 when idle. The watchdog
+	// reads it to find hung stages.
+	busySince := make([]atomic.Int64, len(p.Stages))
+
 	var wg sync.WaitGroup
 
 	// Source goroutine.
@@ -177,7 +203,27 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 					return next.Send(b)
 				}
 			}
-			if st.Device != nil {
+			// offline reports a StageError when the hosting device is (or,
+			// via an injected fault, just went) offline. Links through the
+			// device still forward — only hosted computation dies.
+			offline := func() error {
+				if st.Device == nil {
+					return nil
+				}
+				if p.Faults != nil && p.Faults.Fire(faults.DeviceOffline, st.Device.Name) {
+					st.Device.SetOffline(true)
+				}
+				if st.Device.IsOffline() {
+					return &StageError{
+						Pipeline: p.Name, Stage: st.Stage.Name(),
+						Device: st.Device.Name, Err: fabric.ErrDeviceOffline,
+					}
+				}
+				return nil
+			}
+			if err := offline(); err != nil {
+				fail(err)
+			} else if st.Device != nil {
 				st.Device.ChargeSetup()
 			}
 			for {
@@ -187,17 +233,28 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 					break
 				}
 				if !ok {
-					if err := st.Stage.Flush(out); err != nil {
+					busySince[i].Store(time.Now().UnixNano())
+					err := st.Stage.Flush(out)
+					busySince[i].Store(0)
+					if err != nil {
 						fail(err)
 					}
 					break
 				}
 				res.BatchesIn[i]++
+				if err := offline(); err != nil {
+					fail(err)
+					in.CreditReturn()
+					break
+				}
 				if st.ChargeInput && st.Device != nil {
 					st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
 				}
-				if err := st.Stage.Process(b, out); err != nil {
-					fail(err)
+				busySince[i].Store(time.Now().UnixNano())
+				perr := st.Stage.Process(b, out)
+				busySince[i].Store(0)
+				if perr != nil {
+					fail(perr)
 					in.CreditReturn()
 					break
 				}
@@ -210,7 +267,54 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 		}(i)
 	}
 
+	// Watchdog: periodically scan for a stage that has held one batch
+	// past StageTimeout and cancel the run, blaming the most-downstream
+	// busy stage — upstream stages block in Send behind a hung consumer,
+	// so the furthest-downstream one is the culprit.
+	var watchWG sync.WaitGroup
+	watchStop := make(chan struct{})
+	if p.StageTimeout > 0 && len(p.Stages) > 0 {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			tick := p.StageTimeout / 4
+			if tick < time.Millisecond {
+				tick = time.Millisecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-watchStop:
+					return
+				case <-done:
+					return
+				case <-t.C:
+					now := time.Now().UnixNano()
+					for i := len(p.Stages) - 1; i >= 0; i-- {
+						since := busySince[i].Load()
+						if since == 0 || now-since < int64(p.StageTimeout) {
+							continue
+						}
+						st := p.Stages[i]
+						dev := ""
+						if st.Device != nil {
+							dev = st.Device.Name
+						}
+						fail(&StageError{
+							Pipeline: p.Name, Stage: st.Stage.Name(),
+							Device: dev, Err: ErrStageTimeout,
+						})
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
+	close(watchStop)
+	watchWG.Wait()
 	for _, port := range ports {
 		res.Ports = append(res.Ports, port.Stats())
 	}

@@ -78,8 +78,14 @@ func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-ch
 }
 
 // Send blocks until a credit is available, then transfers the batch,
-// charging every link on the path.
+// charging every link on the path. An injected fault on any path link
+// aborts the transfer with a LinkError before any credit is consumed.
 func (p *Port) Send(b *columnar.Batch) error {
+	for _, l := range p.Path {
+		if err := l.CheckFault(); err != nil {
+			return &LinkError{Link: l.Name, Err: err}
+		}
+	}
 	select {
 	case <-p.done:
 		return ErrCanceled

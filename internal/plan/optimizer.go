@@ -41,6 +41,25 @@ func (p *Physical) PlacementsAt(i int) []fabric.OpClass {
 	return ops
 }
 
+// PlacedDevices returns the names of the devices that host at least one
+// placement, in path order. The scheduler uses it to refuse variants
+// that depend on offline devices.
+func (p *Physical) PlacedDevices() []string {
+	var names []string
+	seen := map[int]bool{}
+	for _, pl := range p.Placements {
+		if !seen[pl.SiteIdx] {
+			seen[pl.SiteIdx] = true
+		}
+	}
+	for i, s := range p.Path.Sites {
+		if seen[i] {
+			names = append(names, s.Device.Name)
+		}
+	}
+	return names
+}
+
 // HasPlacement reports whether op is placed at site s.
 func (p *Physical) HasPlacement(op fabric.OpClass, s Site) bool {
 	idx := p.Path.SiteIndex(s)
@@ -86,6 +105,11 @@ type Optimizer struct {
 	// MoveWeight trades movement against time when ranking. Zero means
 	// DefaultMoveWeight; negative ranks by time alone.
 	MoveWeight float64
+	// Exclude names devices no variant may place operators on — the
+	// engine populates it during failover with devices that just failed.
+	// Offline devices are skipped implicitly. The CPU site is the
+	// recovery backstop and is never excludable.
+	Exclude map[string]bool
 }
 
 // Enumerate produces the distinct placement variants for the query. The
@@ -108,15 +132,24 @@ func (o *Optimizer) Enumerate(q *Query, stats TableStats) ([]*Physical, error) {
 		// chosen one.
 		cascade bool
 	}
+	earliestUsable := func(op fabric.OpClass, from int) int {
+		for i := from; i < len(pm.Sites); i++ {
+			if o.usable(i) && pm.Sites[i].Device.Can(op) {
+				return i
+			}
+		}
+		return -1
+	}
+
 	cpuOnly := func(fabric.OpClass) int { return cpuIdx }
 	earliest := func(op fabric.OpClass) int {
-		if i := pm.EarliestCapable(op, 0); i >= 0 {
+		if i := earliestUsable(op, 0); i >= 0 {
 			return i
 		}
 		return cpuIdx
 	}
 	storageOnly := func(op fabric.OpClass) int {
-		if pm.Sites[0].Device.Can(op) {
+		if o.usable(0) && pm.Sites[0].Device.Can(op) {
 			return 0
 		}
 		return cpuIdx
@@ -126,7 +159,7 @@ func (o *Optimizer) Enumerate(q *Query, stats TableStats) ([]*Physical, error) {
 		if from < 0 {
 			from = cpuIdx
 		}
-		if i := pm.EarliestCapable(op, from); i >= 0 {
+		if i := earliestUsable(op, from); i >= 0 {
 			return i
 		}
 		return cpuIdx
@@ -163,6 +196,18 @@ func (o *Optimizer) Choose(q *Query, stats TableStats) (*Physical, error) {
 		return nil, err
 	}
 	return all[0], nil
+}
+
+// usable reports whether site i may host operators: excluded and
+// offline devices cannot, the CPU backstop (the last site) always can.
+// Degraded placement falls out naturally — with every accelerator dead
+// the only remaining variant is cpu-only.
+func (o *Optimizer) usable(i int) bool {
+	if i == len(o.Path.Sites)-1 {
+		return true
+	}
+	d := o.Path.Sites[i].Device
+	return !o.Exclude[d.Name] && !d.IsOffline()
 }
 
 func (o *Optimizer) rank(p *Physical) float64 {
@@ -205,7 +250,7 @@ func (o *Optimizer) build(q *Query, stats TableStats, name string, siteFor func(
 		if first < cpuIdx {
 			if cascade {
 				for i := first; i < cpuIdx; i++ {
-					if pm.Sites[i].Device.Can(fabric.OpPreAgg) {
+					if o.usable(i) && pm.Sites[i].Device.Can(fabric.OpPreAgg) {
 						add(fabric.OpPreAgg, i)
 					}
 				}

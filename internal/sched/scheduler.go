@@ -41,16 +41,44 @@ type Scheduler struct {
 	// FairShare, when set, rate-limits every link to bandwidth/k while
 	// k admitted plans share it (Section 7.3's DMA rate limiting).
 	FairShare bool
+	// FailurePenalty is the rank-score penalty per recorded failover on a
+	// device the candidate variant places work on. Admission steers new
+	// queries away from recently flaky devices without banning them.
+	FailurePenalty float64
+
+	failures map[string]int // device name -> failovers recorded
 }
+
+// DefaultFailurePenalty is a fresh scheduler's per-failure score
+// penalty; two recorded failures outweigh one rank position plus typical
+// contention, so flaky devices lose ties quickly.
+const DefaultFailurePenalty = 2.0
 
 // New returns an empty scheduler with fair sharing enabled.
 func New() *Scheduler {
 	return &Scheduler{
 		active:            make(map[int64]*Admission),
 		linkLoad:          make(map[*fabric.Link]int),
+		failures:          make(map[string]int),
 		ContentionPenalty: 1.0,
+		FailurePenalty:    DefaultFailurePenalty,
 		FairShare:         true,
 	}
+}
+
+// NoteFailover records that a query failed over away from the named
+// device; future admissions penalize variants placing work there.
+func (s *Scheduler) NoteFailover(device string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures[device]++
+}
+
+// DeviceFailures reports the failovers recorded against a device.
+func (s *Scheduler) DeviceFailures(device string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures[device]
 }
 
 // variantLinks collects the distinct links a variant's data crosses.
@@ -68,11 +96,27 @@ func variantLinks(p *plan.Physical) []*fabric.Link {
 	return out
 }
 
+// variantOffline reports whether the variant places work on a device
+// that is currently offline.
+func variantOffline(p *plan.Physical) bool {
+	seen := map[int]bool{}
+	for _, pl := range p.Placements {
+		seen[pl.SiteIdx] = true
+	}
+	for i, site := range p.Path.Sites {
+		if seen[i] && site.Device.IsOffline() {
+			return true
+		}
+	}
+	return false
+}
+
 // Admit picks the least-interfering variant from the ranked candidates
 // (best-ranked first, as returned by plan.Optimizer.Enumerate) and
 // reserves its links. The choice trades the optimizer's static rank
-// against current contention: an idle lower-ranked variant can win over
-// a loaded top-ranked one.
+// against current contention and recorded device failures: an idle
+// lower-ranked variant can win over a loaded or flaky top-ranked one.
+// Variants that place work on offline devices are inadmissible.
 func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("sched: no variants to admit")
@@ -84,13 +128,25 @@ func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
 		idx  int
 		cost float64
 	}
-	scores := make([]scored, len(variants))
+	var scores []scored
 	for i, v := range variants {
+		if variantOffline(v) {
+			continue
+		}
 		contention := 0
 		for _, l := range variantLinks(v) {
 			contention += s.linkLoad[l]
 		}
-		scores[i] = scored{idx: i, cost: float64(i) + s.ContentionPenalty*float64(contention)}
+		failed := 0
+		for _, name := range v.PlacedDevices() {
+			failed += s.failures[name]
+		}
+		cost := float64(i) + s.ContentionPenalty*float64(contention) +
+			s.FailurePenalty*float64(failed)
+		scores = append(scores, scored{idx: i, cost: cost})
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("sched: all %d variants place work on offline devices", len(variants))
 	}
 	sort.SliceStable(scores, func(a, b int) bool { return scores[a].cost < scores[b].cost })
 	chosen := variants[scores[0].idx]

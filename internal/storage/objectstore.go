@@ -5,7 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -13,38 +16,199 @@ import (
 // blobs. The paper stresses that real cloud storage is object storage,
 // not block devices (Section 3.2); the engine's tables live here as
 // marshalled segments.
+//
+// Availability machinery: Put writes Replicas independent copies of each
+// blob and Get falls back across them, retrying transient faults with
+// bounded exponential backoff. Faults, when set, injects read-path
+// faults so experiments can measure the cost of that recovery.
 type ObjectStore struct {
 	mu      sync.RWMutex
-	objects map[string][]byte
+	objects map[string][][]byte // one entry per replica, len >= 1
+	reps    int
 	Meter   sim.Meter
+
+	// Faults injects read-path faults (transient errors, corrupt blobs,
+	// missing objects). Nil means a fault-free store.
+	Faults *faults.Injector
+	// MaxRetries bounds the per-replica retries of a transient read
+	// fault before falling back to the next replica; 0 disables retry,
+	// modelling a legacy detect-only store.
+	MaxRetries int
+	// RetryBase is the first retry's backoff; it doubles per attempt and
+	// is capped at 8x. Zero skips the sleep but still counts retries.
+	RetryBase time.Duration
+
+	retries    atomic.Int64
+	fallbacks  atomic.Int64
+	retryBytes atomic.Int64
 }
 
-// NewObjectStore returns an empty store.
+// DefaultMaxRetries is the retry bound of a freshly built store.
+const DefaultMaxRetries = 3
+
+// NewObjectStore returns an empty single-replica store.
 func NewObjectStore() *ObjectStore {
-	return &ObjectStore{objects: make(map[string][]byte)}
+	return &ObjectStore{
+		objects:    make(map[string][][]byte),
+		reps:       1,
+		MaxRetries: DefaultMaxRetries,
+		RetryBase:  50 * time.Microsecond,
+	}
 }
 
-// Put stores a blob under key, replacing any previous value.
-func (o *ObjectStore) Put(key string, data []byte) {
-	cp := append([]byte(nil), data...)
+// SetReplicas sets the replication factor for future Puts (clamped to at
+// least 1). Existing objects keep their current replica count.
+func (o *ObjectStore) SetReplicas(n int) {
+	if n < 1 {
+		n = 1
+	}
 	o.mu.Lock()
-	o.objects[key] = cp
+	o.reps = n
+	o.mu.Unlock()
+}
+
+// Replicas reports the current write replication factor.
+func (o *ObjectStore) Replicas() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.reps
+}
+
+// Put stores a blob under key, replacing any previous value. The write
+// fans out to Replicas independent copies; metering charges one op and
+// every replicated byte, so replication's cost shows up in the meters.
+func (o *ObjectStore) Put(key string, data []byte) {
+	o.mu.Lock()
+	n := o.reps
+	copies := make([][]byte, n)
+	for i := range copies {
+		copies[i] = append([]byte(nil), data...)
+	}
+	o.objects[key] = copies
 	o.mu.Unlock()
 	o.Meter.AddOps(1)
+	o.Meter.AddBytes(sim.Bytes(len(data) * n))
 }
 
-// Get returns the blob stored under key. The returned slice must not be
-// modified.
+// Get returns a defensive copy of the blob stored under key; callers may
+// mutate the result freely. Reads fall back across replicas and retry
+// transient faults with bounded exponential backoff.
 func (o *ObjectStore) Get(key string) ([]byte, error) {
+	return o.get(key, true)
+}
+
+// GetNoCopy is the metered hot path: it returns the stored slice itself,
+// which the caller must not modify. Recovery behaviour matches Get.
+func (o *ObjectStore) GetNoCopy(key string) ([]byte, error) {
+	return o.get(key, false)
+}
+
+func (o *ObjectStore) get(key string, copyOut bool) ([]byte, error) {
 	o.mu.RLock()
-	data, ok := o.objects[key]
+	copies, ok := o.objects[key]
 	o.mu.RUnlock()
 	if !ok {
+		// The object genuinely does not exist on any replica: permanent.
 		return nil, fmt.Errorf("storage: object %q not found", key)
 	}
+	var lastErr error
+	for r := range copies {
+		if r > 0 {
+			o.fallbacks.Add(1)
+		}
+		for attempt := 0; ; attempt++ {
+			data, err := o.readReplica(key, copies[r], copyOut)
+			if err == nil {
+				if r > 0 || attempt > 0 {
+					o.retryBytes.Add(int64(len(data)))
+				}
+				return data, nil
+			}
+			lastErr = err
+			retryable := faults.IsTransient(err)
+			if fe, isFault := err.(*faults.FaultError); isFault && fe.Kind == faults.ObjectMissing {
+				// A missing replica will not reappear: go to the next one.
+				retryable = false
+			}
+			if !retryable || attempt >= o.MaxRetries {
+				break
+			}
+			o.retries.Add(1)
+			o.backoff(attempt)
+		}
+	}
+	return nil, lastErr
+}
+
+// readReplica is one read attempt against one replica, with faults
+// injected between the request and the returned bytes.
+func (o *ObjectStore) readReplica(key string, data []byte, copyOut bool) ([]byte, error) {
 	o.Meter.AddOps(1)
+	if o.Faults != nil {
+		if o.Faults.Fire(faults.ObjectMissing, key) {
+			return nil, &faults.FaultError{Kind: faults.ObjectMissing, Target: key}
+		}
+		if o.Faults.Fire(faults.TransientRead, key) {
+			return nil, &faults.FaultError{Kind: faults.TransientRead, Target: key}
+		}
+		if o.Faults.Fire(faults.CorruptBlob, key) {
+			// The corruption rides the returned copy, never the stored
+			// replica; checksums downstream detect it and a re-read heals.
+			cp := append([]byte(nil), data...)
+			if len(cp) > 0 {
+				cp[len(cp)/2] ^= 0x40
+			}
+			o.Meter.AddBytes(sim.Bytes(len(cp)))
+			return cp, nil
+		}
+	}
 	o.Meter.AddBytes(sim.Bytes(len(data)))
+	if copyOut {
+		return append([]byte(nil), data...), nil
+	}
 	return data, nil
+}
+
+// backoff sleeps the bounded-exponential delay for the given attempt.
+func (o *ObjectStore) backoff(attempt int) {
+	if o.RetryBase <= 0 {
+		return
+	}
+	d := o.RetryBase << uint(attempt)
+	if max := o.RetryBase * 8; d > max {
+		d = max
+	}
+	time.Sleep(d)
+}
+
+// RecoveryStats counts the store's recovery work so far.
+type RecoveryStats struct {
+	// Retries is the number of read attempts repeated after a transient
+	// fault.
+	Retries int64
+	// ReplicaFallbacks is the number of reads that moved past replica 0.
+	ReplicaFallbacks int64
+	// RetryBytes is the payload re-read by recovery (bytes returned by
+	// any attempt after the first).
+	RetryBytes sim.Bytes
+}
+
+// Sub returns s minus prev, isolating one scan's recovery work.
+func (s RecoveryStats) Sub(prev RecoveryStats) RecoveryStats {
+	return RecoveryStats{
+		Retries:          s.Retries - prev.Retries,
+		ReplicaFallbacks: s.ReplicaFallbacks - prev.ReplicaFallbacks,
+		RetryBytes:       s.RetryBytes - prev.RetryBytes,
+	}
+}
+
+// Recovery snapshots the store's cumulative recovery counters.
+func (o *ObjectStore) Recovery() RecoveryStats {
+	return RecoveryStats{
+		Retries:          o.retries.Load(),
+		ReplicaFallbacks: o.fallbacks.Load(),
+		RetryBytes:       sim.Bytes(o.retryBytes.Load()),
+	}
 }
 
 // Size returns the byte size of the object under key without charging a
@@ -52,18 +216,20 @@ func (o *ObjectStore) Get(key string) ([]byte, error) {
 func (o *ObjectStore) Size(key string) sim.Bytes {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	data, ok := o.objects[key]
+	copies, ok := o.objects[key]
 	if !ok {
 		return -1
 	}
-	return sim.Bytes(len(data))
+	return sim.Bytes(len(copies[0]))
 }
 
-// Delete removes the object under key; deleting a missing key is a no-op.
+// Delete removes the object (all replicas) under key; deleting a missing
+// key is a no-op. Like Put, it is a metered operation.
 func (o *ObjectStore) Delete(key string) {
 	o.mu.Lock()
 	delete(o.objects, key)
 	o.mu.Unlock()
+	o.Meter.AddOps(1)
 }
 
 // List returns all keys with the given prefix in sorted order.
@@ -80,18 +246,22 @@ func (o *ObjectStore) List(prefix string) []string {
 	return keys
 }
 
-// TotalBytes reports the cumulative size of all stored objects.
+// TotalBytes reports the cumulative size of all stored objects including
+// replica copies — replication's capacity cost.
 func (o *ObjectStore) TotalBytes() sim.Bytes {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	var n sim.Bytes
-	for _, d := range o.objects {
-		n += sim.Bytes(len(d))
+	for _, copies := range o.objects {
+		for _, d := range copies {
+			n += sim.Bytes(len(d))
+		}
 	}
 	return n
 }
 
-// NumObjects reports the number of stored objects.
+// NumObjects reports the number of stored objects (replicas of one key
+// count once).
 func (o *ObjectStore) NumObjects() int {
 	o.mu.RLock()
 	defer o.mu.RUnlock()

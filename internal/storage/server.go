@@ -1,11 +1,13 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/columnar"
+	"repro/internal/encoding"
 	"repro/internal/expr"
 	"repro/internal/fabric"
 	"repro/internal/sim"
@@ -71,6 +73,13 @@ type ScanStats struct {
 	ShippedBytes   sim.Bytes // payload bytes leaving the storage server
 	ShippedRows    int64
 	ProcTime       sim.VTime // busy time on the storage processor
+
+	// Recovery accounting: reads repeated after transient faults or
+	// corrupt blobs, reads served past replica 0, and the payload bytes
+	// those extra reads moved. Availability is not free; E19 reports it.
+	Retries          int64
+	ReplicaFallbacks int64
+	RetryBytes       sim.Bytes
 }
 
 // Server is the storage node: an object store behind media and an
@@ -190,8 +199,20 @@ func (s *Server) Append(table string, b *columnar.Batch) error {
 // Scan executes a scan, invoking emit once per produced batch in segment
 // order. The emitted batch schema is the projected table schema, or the
 // partial-aggregation schema when PreAgg is set.
-func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) error) (ScanStats, error) {
-	var stats ScanStats
+//
+// Faulty reads recover in two layers: the object store retries transient
+// faults and falls back across replicas, and the scan itself re-reads a
+// segment whose blob fails checksum verification (a corrupt replica or
+// an in-flight bit flip), re-charging the media for every extra read so
+// the recovery cost is visible in the meters and in ScanStats.
+func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) error) (stats ScanStats, err error) {
+	recBefore := s.store.Recovery()
+	defer func() {
+		rec := s.store.Recovery().Sub(recBefore)
+		stats.Retries += rec.Retries
+		stats.ReplicaFallbacks += rec.ReplicaFallbacks
+		stats.RetryBytes += rec.RetryBytes
+	}()
 	t, err := s.Table(table)
 	if err != nil {
 		return stats, err
@@ -256,36 +277,28 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 	}
 
 	for _, key := range t.SegmentKeys {
-		blob, err := s.store.Get(key)
-		if err != nil {
-			return stats, err
+		var seg *Segment
+		var batch *columnar.Batch
+		skip := false
+		for attempt := 0; ; attempt++ {
+			var segErr error
+			seg, batch, skip, segErr = s.readSegment(key, needed, spec, attempt, &stats)
+			if segErr == nil {
+				break
+			}
+			// Only checksum-detected corruption is worth re-reading: a
+			// fresh read may hit a clean replica or a clean wire. Other
+			// errors (missing object, exhausted transient budget) have
+			// already been through the store's own retry machinery.
+			if !errors.Is(segErr, encoding.ErrCorrupt) || attempt >= s.store.MaxRetries {
+				return stats, fmt.Errorf("storage: %s: %w", key, segErr)
+			}
+			stats.Retries++
+			s.store.backoff(attempt)
 		}
-		seg, err := UnmarshalSegment(blob)
-		if err != nil {
-			return stats, fmt.Errorf("storage: %s: %w", key, err)
-		}
-
-		if !spec.DisablePruning && s.pruned(seg, spec.Filter) {
+		if skip {
 			stats.SegmentsPruned++
 			continue
-		}
-
-		// Media reads only the needed column chunks (columnar layout +
-		// range reads), then the processor decodes them.
-		var encoded sim.Bytes
-		for _, c := range needed {
-			encoded += sim.Bytes(seg.Columns[c].EncodedSize())
-		}
-		stats.MediaBytes += encoded
-		s.media.Charge(fabric.OpScan, encoded)
-		if s.mediaLink != nil {
-			s.mediaLink.Transfer(encoded)
-		}
-		s.proc.Charge(fabric.OpDecompress, encoded)
-
-		batch, err := seg.DecodeColumns(needed)
-		if err != nil {
-			return stats, err
 		}
 
 		if spec.Pushdown && filter != nil {
@@ -330,6 +343,48 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 
 	stats.ProcTime = s.proc.Meter.Busy() - procStart
 	return stats, nil
+}
+
+// readSegment is one attempt at reading and decoding segment key: fetch
+// the blob, unmarshal it, prune-check, charge the media and processor
+// for the needed columns, and decode them. Corruption surfaces as an
+// error wrapping encoding.ErrCorrupt for Scan's retry loop; re-reads
+// (attempt > 0) charge the media again and count toward RetryBytes, so
+// recovery shows up as real extra work in the meters.
+func (s *Server) readSegment(key string, needed []int, spec ScanSpec, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+	blob, err := s.store.GetNoCopy(key)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if attempt > 0 {
+		stats.RetryBytes += sim.Bytes(len(blob))
+	}
+	seg, err := UnmarshalSegment(blob)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !spec.DisablePruning && s.pruned(seg, spec.Filter) {
+		return seg, nil, true, nil
+	}
+
+	// Media reads only the needed column chunks (columnar layout +
+	// range reads), then the processor decodes them.
+	var encoded sim.Bytes
+	for _, c := range needed {
+		encoded += sim.Bytes(seg.Columns[c].EncodedSize())
+	}
+	stats.MediaBytes += encoded
+	s.media.Charge(fabric.OpScan, encoded)
+	if s.mediaLink != nil {
+		s.mediaLink.Transfer(encoded)
+	}
+	s.proc.Charge(fabric.OpDecompress, encoded)
+
+	batch, err := seg.DecodeColumns(needed)
+	if err != nil {
+		return seg, nil, false, err
+	}
+	return seg, batch, false, nil
 }
 
 // checkPushdown verifies the processor can host the requested offloads,
