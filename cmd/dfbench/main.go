@@ -2,21 +2,31 @@
 //
 // Usage:
 //
-//	dfbench [-rows N] [-only E2,E7] [-list]
+//	dfbench [-rows N] [-only E2,E7] [-list] [-trace FILE] [-json FILE]
 //
 // Each experiment reproduces the scenario of one figure or Section-7
 // claim of "Data Flow Architectures for Data Processing on Modern
 // Hardware" (Lerner & Alonso, ICDE 2024) and prints the rows the paper's
 // argument predicts.
+//
+// -trace FILE writes a Chrome/Perfetto trace (load at ui.perfetto.dev)
+// of the E20 staged-overlap run: both engines' virtual-time timelines as
+// separate processes. Traces are deterministic for a fixed -rows, so CI
+// diffs two runs byte-for-byte.
+//
+// -json FILE writes a machine-readable perf artifact (conventionally
+// BENCH_results.json): every executed experiment's key metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -175,6 +185,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E20", "staged pipeline overlap from virtual-time traces (Section 4)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E20StageOverlap(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -213,10 +230,48 @@ func registry() []experiment {
 	}
 }
 
+// jsonEntry is one experiment's slice of the -json perf artifact.
+type jsonEntry struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func writeTraceFile(path string, rows int) error {
+	r, err := experiments.E20StageOverlap(rows)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WritePerfetto(f,
+		obs.Process{Name: "dataflow", Trace: r.DataFlowTrace},
+		obs.Process{Name: "volcano", Trace: r.VolcanoTrace})
+}
+
+func writeJSONFile(path string, rows int, entries []jsonEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Rows    int         `json:"rows"`
+		Results []jsonEntry `json:"results"`
+	}{Rows: rows, Results: entries})
+}
+
 func main() {
 	rows := flag.Int("rows", 50000, "workload size (rows)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	tracePath := flag.String("trace", "", "write a Perfetto trace of the E20 run to FILE")
+	jsonPath := flag.String("json", "", "write executed experiments' metrics to FILE (e.g. BENCH_results.json)")
 	flag.Parse()
 
 	exps := registry()
@@ -233,6 +288,7 @@ func main() {
 		}
 	}
 	failed := false
+	var entries []jsonEntry
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -244,6 +300,23 @@ func main() {
 			continue
 		}
 		fmt.Println(t.String())
+		entries = append(entries, jsonEntry{ID: t.ID, Title: t.Title, Metrics: t.Metrics})
+	}
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath, *rows); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("wrote Perfetto trace to %s\n", *tracePath)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSONFile(*jsonPath, *rows, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("wrote metrics to %s\n", *jsonPath)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -7,6 +7,7 @@
 //
 //	dfquery [-engine dataflow|volcano|both] [-rows N] [-query pricing|filter|count|parts]
 //	        [-sql "SELECT ..."] [-variant name] [-fabric smart|legacy] [-explain]
+//	        [-analyze] [-trace FILE]
 //
 // With -sql, the statement is parsed against the lineitem schema
 // (columns l_orderkey, l_partkey, l_suppkey, l_quantity,
@@ -15,16 +16,26 @@
 //
 //	dfquery -sql "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem
 //	              WHERE l_shipdate BETWEEN 0 AND 500 GROUP BY l_returnflag"
+//
+// -analyze (or an EXPLAIN ANALYZE prefix on the -sql statement) records
+// a virtual-time trace during execution and prints a per-device span
+// timeline plus the concurrency factor — the mean number of
+// simultaneously busy resources — after each engine's stats. -trace FILE
+// additionally writes the recorded timelines as a Chrome/Perfetto trace
+// (load at ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"repro/internal/columnar"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/sqlparse"
@@ -62,6 +73,34 @@ func buildQuery(name string, cfg workload.LineitemConfig) (*plan.Query, error) {
 	return nil, fmt.Errorf("unknown query %q (want pricing|filter|count|parts)", name)
 }
 
+// stripExplainAnalyze removes a leading EXPLAIN ANALYZE (case-insensitive)
+// from sql, reporting whether it was present.
+func stripExplainAnalyze(sql string) (string, bool) {
+	trimmed := strings.TrimSpace(sql)
+	fields := strings.Fields(trimmed)
+	if len(fields) >= 2 &&
+		strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "ANALYZE") {
+		rest := trimmed[len(fields[0]):]
+		rest = strings.TrimSpace(rest)
+		rest = strings.TrimSpace(rest[len(fields[1]):])
+		return rest, true
+	}
+	return sql, false
+}
+
+// printTimeline renders a recorded trace as a per-device Gantt chart plus
+// the headline concurrency numbers.
+func printTimeline(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteGantt(os.Stdout, 64); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan %s, resource busy %s, concurrency %.2f (mean active resources)\n",
+		tr.Makespan(), tr.WorkBusy(), tr.ConcurrencyFactor())
+}
+
 func main() {
 	engine := flag.String("engine", "both", "dataflow, volcano or both")
 	rows := flag.Int("rows", 50000, "lineitem rows to generate")
@@ -70,15 +109,19 @@ func main() {
 	variant := flag.String("variant", "", "force a dataflow plan variant (e.g. cpu-only)")
 	fabricKind := flag.String("fabric", "smart", "smart or legacy cluster for the dataflow engine")
 	explain := flag.Bool("explain", false, "print all plan variants before executing")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: trace execution and print per-device timelines")
+	tracePath := flag.String("trace", "", "write the recorded timelines as a Perfetto trace to FILE (implies -analyze)")
 	maxRows := flag.Int("maxrows", 10, "result rows to print")
 	flag.Parse()
 
 	cfg := workload.DefaultLineitemConfig(*rows)
 	data := workload.GenLineitem(cfg)
+	sql, hasAnalyze := stripExplainAnalyze(*sqlText)
+	tracing := *analyze || hasAnalyze || *tracePath != ""
 	var q *plan.Query
 	var err error
-	if *sqlText != "" {
-		q, err = sqlparse.Parse(*sqlText, staticCatalog{})
+	if sql != "" {
+		q, err = sqlparse.Parse(sql, staticCatalog{})
 	} else {
 		q, err = buildQuery(*queryName, cfg)
 	}
@@ -86,6 +129,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("query: %s\n\n", q)
+	var procs []obs.Process
 
 	if *engine == "dataflow" || *engine == "both" {
 		ccfg := fabric.DefaultClusterConfig()
@@ -93,6 +137,7 @@ func main() {
 			ccfg = fabric.LegacyClusterConfig()
 		}
 		eng := core.NewDataFlowEngine(fabric.NewCluster(ccfg))
+		eng.Tracing = tracing
 		must(eng.CreateTable("lineitem", workload.LineitemSchema()))
 		must(eng.Load("lineitem", data))
 
@@ -124,10 +169,15 @@ func main() {
 		fmt.Printf("--- dataflow (%s fabric, variant %s) ---\n", *fabricKind, chosen.Variant)
 		fmt.Print(res.Format(*maxRows))
 		fmt.Println(res.Stats.String())
+		printTimeline(res.Trace)
+		if res.Trace != nil {
+			procs = append(procs, obs.Process{Name: "dataflow", Trace: res.Trace})
+		}
 	}
 
 	if *engine == "volcano" || *engine == "both" {
 		eng := core.NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), 512*sim.MB)
+		eng.Tracing = tracing
 		must(eng.CreateTable("lineitem", workload.LineitemSchema()))
 		must(eng.Load("lineitem", data))
 		res, err := eng.Execute(q)
@@ -137,6 +187,25 @@ func main() {
 		fmt.Println("--- volcano (legacy fabric, buffer pool) ---")
 		fmt.Print(res.Format(*maxRows))
 		fmt.Println(res.Stats.String())
+		printTimeline(res.Trace)
+		if res.Trace != nil {
+			procs = append(procs, obs.Process{Name: "volcano", Trace: res.Trace})
+		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfetto(f, procs...); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s\n", *tracePath)
 	}
 }
 

@@ -5,7 +5,11 @@
 //
 //	go run ./cmd/dfshell [-rows N]
 //
-// Meta commands: \tables, \explain <sql>, \stats <table>, \topo, \quit.
+// Meta commands: \tables, \explain <sql>, \stats [<table>], \trace,
+// \topo, \quit. Bare \stats toggles the full execution-stats block after
+// each query; \trace toggles virtual-time tracing, printing a per-device
+// span timeline and the concurrency factor. Prefixing a statement with
+// EXPLAIN ANALYZE traces just that one query.
 package main
 
 import (
@@ -18,9 +22,36 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
+
+// stripExplainAnalyze removes a leading EXPLAIN ANALYZE
+// (case-insensitive) from sql, reporting whether it was present.
+func stripExplainAnalyze(sql string) (string, bool) {
+	fields := strings.Fields(sql)
+	if len(fields) >= 2 &&
+		strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "ANALYZE") {
+		rest := strings.TrimSpace(sql)[len(fields[0]):]
+		rest = strings.TrimSpace(rest)
+		return strings.TrimSpace(rest[len(fields[1]):]), true
+	}
+	return sql, false
+}
+
+func printTimeline(tr *obs.Trace) {
+	if tr == nil {
+		fmt.Println("(no trace recorded)")
+		return
+	}
+	if err := tr.WriteGantt(os.Stdout, 64); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("makespan %s, resource busy %s, concurrency %.2f (mean active resources)\n",
+		tr.Makespan(), tr.WorkBusy(), tr.ConcurrencyFactor())
+}
 
 func main() {
 	rows := flag.Int("rows", 50000, "lineitem rows to generate")
@@ -37,8 +68,9 @@ func main() {
 
 	fmt.Printf("dfshell — data-flow engine over %s\n", cluster.Name)
 	fmt.Printf("tables: lineitem (%d rows), orders (%d rows)\n", *rows, *rows/4)
-	fmt.Println(`type SQL, or \tables \explain <sql> \stats <table> \topo \quit`)
+	fmt.Println(`type SQL, or \tables \explain <sql> \stats [<table>] \trace \topo \quit`)
 
+	showStats := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -63,6 +95,20 @@ func main() {
 			}
 		case line == `\topo`:
 			fmt.Print(cluster.String())
+		case line == `\trace`:
+			eng.Tracing = !eng.Tracing
+			if eng.Tracing {
+				fmt.Println("tracing on: queries print a per-device span timeline")
+			} else {
+				fmt.Println("tracing off")
+			}
+		case line == `\stats`:
+			showStats = !showStats
+			if showStats {
+				fmt.Println("stats on: queries print the full execution-stats block")
+			} else {
+				fmt.Println("stats off")
+			}
 		case strings.HasPrefix(line, `\stats `):
 			name := strings.TrimSpace(strings.TrimPrefix(line, `\stats `))
 			st, err := eng.Stats(name)
@@ -89,20 +135,33 @@ func main() {
 		case strings.HasPrefix(line, `\`):
 			fmt.Println("unknown meta command:", line)
 		default:
-			q, err := sqlparse.Parse(line, eng)
+			sql, analyze := stripExplainAnalyze(line)
+			q, err := sqlparse.Parse(sql, eng)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
+			wasTracing := eng.Tracing
+			if analyze {
+				eng.Tracing = true
+			}
 			res, err := eng.Execute(q)
+			eng.Tracing = wasTracing
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Print(res.Format(20))
-			fmt.Printf("-- %d rows via %q: moved %s, cpu %s, simtime %s\n",
-				res.Rows(), res.Stats.Variant, res.Stats.MovedBytes,
-				res.Stats.CPUBytes, res.Stats.SimTime)
+			if showStats {
+				fmt.Println(res.Stats.String())
+			} else {
+				fmt.Printf("-- %d rows via %q: moved %s, cpu %s, simtime %s\n",
+					res.Rows(), res.Stats.Variant, res.Stats.MovedBytes,
+					res.Stats.CPUBytes, res.Stats.SimTime)
+			}
+			if res.Trace != nil {
+				printTimeline(res.Trace)
+			}
 		}
 	}
 }

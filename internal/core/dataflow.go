@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -45,6 +46,10 @@ type DataFlowEngine struct {
 	// MaxRecoveryAttempts bounds how many times ExecuteOn will retry or
 	// fail over one query; 0 means DefaultMaxRecoveryAttempts.
 	MaxRecoveryAttempts int
+	// Tracing makes every execution record a virtual-time span timeline,
+	// returned in Result.Trace. Off by default: disabled tracing adds
+	// zero allocations to the per-batch hot path.
+	Tracing bool
 
 	mu    sync.Mutex
 	stats map[string]plan.TableStats
@@ -178,20 +183,29 @@ func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
 	var queryRetries int64
 	var wasteBytes sim.Bytes
 	var wasteTime sim.VTime
+	// One trace spans the whole query: abandoned attempts drop their
+	// spans (ClearSpans) but keep fault/failover/admit annotations, so
+	// the final timeline shows the answer's execution plus the recovery
+	// history that led to it.
+	var tr *obs.Trace
+	if e.Tracing {
+		tr = obs.New()
+	}
 
 	for attempt := 0; ; attempt++ {
 		variants, err := e.PlanExcluding(q, node, exclude)
 		if err != nil {
 			return nil, err
 		}
-		adm, err := e.Scheduler.Admit(variants)
+		adm, err := e.Scheduler.AdmitTraced(variants, tr)
 		if err != nil {
 			return nil, err
 		}
+		tr.ClearSpans()
 		before := e.snapshotMeters()
 		res, err := func() (*Result, error) {
 			defer e.Scheduler.Release(adm)
-			return e.ExecutePlan(adm.Plan)
+			return e.executePlan(adm.Plan, tr)
 		}()
 		if err == nil {
 			res.Stats.Retries += queryRetries
@@ -213,8 +227,11 @@ func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
 			exclude[se.Device] = true
 			e.Scheduler.NoteFailover(se.Device)
 			failovers++
+			tr.AddEvent(obs.Event{Name: "failover", Track: se.Device, At: 0,
+				Detail: fmt.Sprintf("stage %s failed (%v); re-planning without %s", se.Stage, se.Err, se.Device)})
 		case faults.IsTransient(err):
 			queryRetries++
+			tr.AddEvent(obs.Event{Name: "query-retry", Track: "engine", At: 0, Detail: err.Error()})
 		default:
 			return nil, err
 		}
@@ -243,8 +260,18 @@ func (e *DataFlowEngine) meterDelta(before map[meterKey]sim.Snapshot) (sim.Bytes
 }
 
 // ExecutePlan runs one specific physical plan variant, bypassing the
-// scheduler. Experiments use it to force variants.
+// scheduler. Experiments use it to force variants. Tracing follows
+// e.Tracing, with a fresh trace per call.
 func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
+	var tr *obs.Trace
+	if e.Tracing {
+		tr = obs.New()
+	}
+	return e.executePlan(ph, tr)
+}
+
+// executePlan runs one physical plan, recording onto tr when non-nil.
+func (e *DataFlowEngine) executePlan(ph *plan.Physical, tr *obs.Trace) (*Result, error) {
 	q := ph.Query
 	numFields, tableSchema, err := e.tableSchema(q.Table)
 	if err != nil {
@@ -261,6 +288,17 @@ func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
 	stages, paths, err := e.buildStages(ph, spec, emitsPartials, tableSchema)
 	if err != nil {
 		return nil, err
+	}
+
+	// The storage scan and the pipeline source share one virtual clock:
+	// the scan advances it as it charges media/decode work, and the
+	// source stamps every emitted batch with its reading, so downstream
+	// stage spans replay against real scan progress.
+	var clock *obs.VClock
+	if tr.Enabled() {
+		clock = obs.NewVClock()
+		spec.Trace = tr
+		spec.Clock = clock
 	}
 
 	var scanStats storage.ScanStats
@@ -281,6 +319,9 @@ func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
 		Paths:        paths,
 		StageTimeout: e.StageTimeout,
 		Faults:       e.Faults,
+		Trace:        tr,
+		Clock:        clock,
+		SourceTrack:  e.Storage.Proc().Name,
 	}
 
 	var result Result
@@ -293,6 +334,8 @@ func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
 	}
 
 	result.Stats = e.buildStats(ph, before, flowRes, scanStats, maxBatch, &result)
+	result.Trace = tr
+	sampleMeterSeries(e.Cluster, tr, before)
 	return &result, nil
 }
 
@@ -554,23 +597,6 @@ func (deliverStage) Process(b *columnar.Batch, emit flow.Emit) error {
 	return emit(b)
 }
 func (deliverStage) Flush(flow.Emit) error { return nil }
-
-// meterKey identifies one device or link meter.
-type meterKey struct {
-	link bool
-	name string
-}
-
-func (e *DataFlowEngine) snapshotMeters() map[meterKey]sim.Snapshot {
-	out := make(map[meterKey]sim.Snapshot)
-	for _, d := range e.Cluster.Devices() {
-		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
-	}
-	for _, l := range e.Cluster.Links() {
-		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
-	}
-	return out
-}
 
 // buildStats derives the execution stats from meter deltas.
 func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]sim.Snapshot, flowRes flow.Result, scan storage.ScanStats, maxBatch sim.Bytes, res *Result) ExecStats {

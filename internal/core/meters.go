@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// meterKey identifies one device or link meter.
+type meterKey struct {
+	link bool
+	name string
+}
+
+// snapshotClusterMeters captures every device and link meter so a later
+// delta isolates one execution's work from the cluster's running totals.
+func snapshotClusterMeters(c *fabric.Cluster) map[meterKey]sim.Snapshot {
+	out := make(map[meterKey]sim.Snapshot)
+	for _, d := range c.Devices() {
+		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
+	}
+	for _, l := range c.Links() {
+		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
+	}
+	return out
+}
+
+func (e *DataFlowEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+	return snapshotClusterMeters(e.Cluster)
+}
+
+func (e *VolcanoEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+	return snapshotClusterMeters(e.Cluster)
+}
+
+// sampleMeterSeries snapshots every cluster meter's query-lifecycle
+// delta into named trace series: one point at virtual time 0 and one at
+// the trace makespan. Deterministic: devices and links iterate in the
+// cluster's fixed order. Meters that did no work are skipped.
+func sampleMeterSeries(c *fabric.Cluster, tr *obs.Trace, before map[meterKey]sim.Snapshot) {
+	if !tr.Enabled() {
+		return
+	}
+	mk := tr.Makespan()
+	for _, d := range c.Devices() {
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		if delta.Bytes == 0 && delta.Busy == 0 {
+			continue
+		}
+		tr.Sample("meter."+d.Name+".bytes", "bytes", 0, 0)
+		tr.Sample("meter."+d.Name+".bytes", "bytes", mk, float64(delta.Bytes))
+		tr.Sample("meter."+d.Name+".busy", "vns", 0, 0)
+		tr.Sample("meter."+d.Name+".busy", "vns", mk, float64(delta.Busy))
+	}
+	for _, l := range c.Links() {
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		if delta.Bytes == 0 && delta.Messages == 0 {
+			continue
+		}
+		tr.Sample("meter."+l.Name+".bytes", "bytes", 0, 0)
+		tr.Sample("meter."+l.Name+".bytes", "bytes", mk, float64(delta.Bytes))
+		tr.Sample("meter."+l.Name+".messages", "count", 0, 0)
+		tr.Sample("meter."+l.Name+".messages", "count", mk, float64(delta.Messages))
+	}
+}

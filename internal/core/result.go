@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/columnar"
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -22,6 +23,10 @@ import (
 type Result struct {
 	Batches []*columnar.Batch
 	Stats   ExecStats
+	// Trace is the virtual-time span timeline of the execution, present
+	// only when the engine ran with tracing enabled. Nil otherwise; all
+	// obs.Trace methods are nil-safe, so callers need not check.
+	Trace *obs.Trace
 }
 
 // Rows reports the total result rows.

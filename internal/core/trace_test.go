@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/flow"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tracedDataFlow builds a dataflow engine with tracing on and segments
+// small enough that a query streams many batches through the pipeline —
+// the precondition for stage overlap to show in the timeline.
+func tracedDataFlow(t *testing.T) (*DataFlowEngine, workload.LineitemConfig) {
+	t.Helper()
+	cfg := workload.DefaultLineitemConfig(testRows)
+	data := workload.GenLineitem(cfg)
+	df := NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
+	df.Tracing = true
+	df.Storage.SegmentRows = 4096
+	if err := df.CreateTable("lineitem", workload.LineitemSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Load("lineitem", data); err != nil {
+		t.Fatal(err)
+	}
+	return df, cfg
+}
+
+func TestDataFlowTraceShowsStageOverlap(t *testing.T) {
+	df, cfg := tracedDataFlow(t)
+	q := plan.NewQuery("lineitem").
+		WithFilter(workload.SelectivityFilter(cfg, 0.5)).
+		WithGroupBy(workload.PricingSummary())
+	res, err := df.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Tracing=true returned nil Result.Trace")
+	}
+	if len(tr.Spans()) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	if len(tr.Tracks()) < 3 {
+		t.Fatalf("trace covers %d tracks, want a multi-device timeline: %v",
+			len(tr.Tracks()), tr.Tracks())
+	}
+	cf := tr.ConcurrencyFactor()
+	if cf <= 1.0 {
+		t.Errorf("dataflow concurrency factor = %.3f, want > 1.0 (staged overlap)", cf)
+	}
+	// An admission event should annotate the placement decision.
+	var admits int
+	for _, ev := range tr.Events() {
+		if ev.Name == "admit" {
+			admits++
+		}
+	}
+	if admits != 1 {
+		t.Errorf("trace has %d admit events, want 1", admits)
+	}
+	// Meter series must be present and attributable.
+	if len(tr.SeriesList()) == 0 {
+		t.Error("trace has no meter series")
+	}
+}
+
+func TestVolcanoTraceIsSerial(t *testing.T) {
+	_, vo, cfg := newEngines(t)
+	vo.Tracing = true
+	q := plan.NewQuery("lineitem").
+		WithFilter(workload.SelectivityFilter(cfg, 0.5)).
+		WithGroupBy(workload.PricingSummary())
+	res, err := vo.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Tracing=true returned nil Result.Trace")
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	// One clock, pull execution: spans never overlap at all, across ALL
+	// tracks, so the concurrency factor cannot exceed 1.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("volcano spans overlap: %v then %v", spans[i-1], spans[i])
+		}
+	}
+	if cf := tr.ConcurrencyFactor(); cf > 1.0 {
+		t.Errorf("volcano concurrency factor = %.3f, want <= 1.0 (serial pull)", cf)
+	}
+	// The timeline must show the legacy data path: media fetch, network
+	// transfer, CPU decode, CPU operators.
+	kinds := map[string]int{}
+	for _, sp := range spans {
+		kinds[sp.Name]++
+	}
+	for _, want := range []string{"fetch", "xfer", "decode", "filter", "aggregate"} {
+		if kinds[want] == 0 {
+			t.Errorf("volcano trace has no %q spans (have %v)", want, kinds)
+		}
+	}
+}
+
+// TestTraceDeterministic runs the identical seeded query on two fresh
+// engine pairs and requires byte-identical trace JSON — the property CI
+// relies on to diff traces across runs.
+func TestTraceDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		df, cfg := tracedDataFlow(t)
+		q := plan.NewQuery("lineitem").
+			WithFilter(workload.SelectivityFilter(cfg, 0.5)).
+			WithGroupBy(workload.PricingSummary())
+		res, err := df.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Trace.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+
+		_, vo, _ := newEngines(t)
+		vo.Tracing = true
+		vres, err := vo.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vbuf bytes.Buffer
+		if err := vres.Trace.WriteJSON(&vbuf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), vbuf.String()
+	}
+	df1, vo1 := render()
+	df2, vo2 := render()
+	if df1 != df2 {
+		t.Error("dataflow trace JSON differs between identical runs")
+	}
+	if vo1 != vo2 {
+		t.Error("volcano trace JSON differs between identical runs")
+	}
+}
+
+func TestTracingOffReturnsNilTrace(t *testing.T) {
+	df, vo, cfg := newEngines(t)
+	q := plan.NewQuery("lineitem").
+		WithFilter(workload.SelectivityFilter(cfg, 0.05)).
+		WithProjection(workload.LOrderKey)
+	dres, err := df.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Trace != nil {
+		t.Error("dataflow Result.Trace non-nil with Tracing=false")
+	}
+	vres, err := vo.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Trace != nil {
+		t.Error("volcano Result.Trace non-nil with Tracing=false")
+	}
+}
+
+func TestExecStatsControlOverhead(t *testing.T) {
+	var s ExecStats
+	if got := s.ControlOverhead(); got != 0 {
+		t.Errorf("no ports: ControlOverhead = %v, want 0", got)
+	}
+	s.Ports = []flow.PortStats{
+		{Name: "a", DataMessages: 6, CreditMessages: 2},
+		{Name: "b", DataMessages: 2, CreditMessages: 2},
+	}
+	if got := s.ControlOverhead(); got != 0.5 {
+		t.Errorf("ControlOverhead = %v, want 0.5 (4 credit / 8 data)", got)
+	}
+	s.Ports = []flow.PortStats{{Name: "idle", CreditMessages: 3}}
+	if got := s.ControlOverhead(); got != 0 {
+		t.Errorf("zero data messages: ControlOverhead = %v, want 0", got)
+	}
+}
+
+func TestExecStatsStringRecoveryLine(t *testing.T) {
+	clean := ExecStats{Engine: "dataflow", Variant: "full-offload", ResultRows: 7}
+	if out := clean.String(); strings.Contains(out, "recovery:") {
+		t.Errorf("clean stats printed a recovery line:\n%s", out)
+	}
+	hurt := ExecStats{
+		Engine: "dataflow", Variant: "cpu-only", ResultRows: 7,
+		Retries: 2, ReplicaFallbacks: 1, Failovers: 1, DegradedPlacement: true,
+		RecoveryBytes: 4096, RecoveryTime: sim.VTime(12345),
+	}
+	out := hurt.String()
+	for _, want := range []string{"recovery:", "retries=2", "fallbacks=1", "failovers=1", "degraded=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recovery line missing %q:\n%s", want, out)
+		}
+	}
+}

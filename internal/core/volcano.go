@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -24,9 +25,23 @@ type VolcanoEngine struct {
 	Storage *storage.Server
 	Pool    *bufferpool.Pool
 
+	// Tracing makes every Execute record a virtual-time span timeline,
+	// returned in Result.Trace. The baseline is a pull engine, so its
+	// timeline is one serial chain: fetch, transfer, decode and every
+	// operator advance a single virtual clock with zero overlap — the
+	// concurrency factor the dataflow engine's staged pipeline is
+	// measured against. Tracing assumes Execute calls do not overlap.
+	Tracing bool
+
 	node int
 	cpu  *fabric.Device
 	dram string
+
+	// Per-execution trace state, set only while a traced Execute runs.
+	// fetchPage reads it from inside the buffer-pool miss path, which is
+	// called synchronously on Execute's goroutine.
+	tr    *obs.Trace
+	clock *obs.VClock
 
 	mu      sync.Mutex
 	stats   map[string]plan.TableStats
@@ -70,14 +85,40 @@ func (e *VolcanoEngine) fetchPage(id bufferpool.PageID) ([]byte, error) {
 		return nil, fmt.Errorf("storage: fetch %s: %w", id, err)
 	}
 	n := sim.Bytes(len(blob))
-	e.Cluster.MustDevice(fabric.DevStorageMed).Charge(fabric.OpScan, n)
-	if _, err := e.Cluster.Transfer(fabric.DevStorageMed, e.dram, n); err != nil {
+	media := e.Cluster.MustDevice(fabric.DevStorageMed)
+	e.span("fetch", media.Name, obs.SpanScan, media.Charge(fabric.OpScan, n), n)
+	if e.tr.Enabled() {
+		// Walk the path link by link so each hop gets its own transfer
+		// span; the meter charges are identical to Cluster.Transfer.
+		path, err := e.Cluster.Path(fabric.DevStorageMed, e.dram)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range path {
+			e.span("xfer", l.Name, obs.SpanTransfer, l.Transfer(n), n)
+		}
+	} else if _, err := e.Cluster.Transfer(fabric.DevStorageMed, e.dram, n); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	e.fetches++
 	e.mu.Unlock()
 	return blob, nil
+}
+
+// span records one serial span on the engine's per-execution trace,
+// advancing the single virtual clock by cost. Nil trace (tracing off)
+// makes this a no-op; the cost argument's meter charge already happened
+// at the call site either way.
+func (e *VolcanoEngine) span(name, track string, kind obs.SpanKind, cost sim.VTime, n sim.Bytes) {
+	if !e.tr.Enabled() {
+		return
+	}
+	start := e.clock.Now()
+	e.tr.AddSpan(obs.Span{
+		Name: name, Track: track, Kind: kind,
+		Start: start, End: e.clock.Advance(cost), Bytes: n,
+	})
 }
 
 // CreateTable registers a table.
@@ -111,11 +152,17 @@ func (e *VolcanoEngine) TableSchema(name string) (*columnar.Schema, error) {
 }
 
 // chargeIter charges a device for every batch flowing through it; this
-// is how the baseline accounts per-operator CPU work.
+// is how the baseline accounts per-operator CPU work. With a trace
+// attached it also records each charge as a span on the device's track,
+// serialized on the engine's single clock.
 type chargeIter struct {
 	in  exec.Iterator
 	dev *fabric.Device
 	op  fabric.OpClass
+
+	name  string
+	tr    *obs.Trace
+	clock *obs.VClock
 }
 
 func (it *chargeIter) Schema() *columnar.Schema { return it.in.Schema() }
@@ -125,7 +172,15 @@ func (it *chargeIter) Next() (*columnar.Batch, error) {
 	if err != nil || b == nil {
 		return b, err
 	}
-	it.dev.Charge(it.op, sim.Bytes(b.ByteSize()))
+	n := sim.Bytes(b.ByteSize())
+	cost := it.dev.Charge(it.op, n)
+	if it.tr.Enabled() {
+		start := it.clock.Now()
+		it.tr.AddSpan(obs.Span{
+			Name: it.name, Track: it.dev.Name, Kind: obs.SpanStage,
+			Start: start, End: it.clock.Advance(cost), Bytes: n,
+		})
+	}
 	return b, nil
 }
 
@@ -138,6 +193,15 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	var tr *obs.Trace
+	if e.Tracing {
+		tr = obs.New()
+		e.tr = tr
+		e.clock = obs.NewVClock()
+		defer func() { e.tr, e.clock = nil, nil }()
+	}
+	clock := e.clock
 
 	before := e.snapshotMeters()
 	recBefore := e.Storage.Store().Recovery()
@@ -165,7 +229,8 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 		}
 		// Decode (checksum + decompress) happens on the compute CPU in
 		// the legacy model.
-		e.cpu.Charge(fabric.OpDecompress, sim.Bytes(len(page.Data)))
+		pn := sim.Bytes(len(page.Data))
+		e.span("decode", e.cpu.Name, obs.SpanScan, e.cpu.Charge(fabric.OpDecompress, pn), pn)
 		batch, err := seg.Decode()
 		if err != nil {
 			return nil, err
@@ -174,29 +239,33 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 			maxDecoded = n
 		}
 		if dramToCPU != nil {
-			dramToCPU.Transfer(sim.Bytes(batch.ByteSize()))
+			bn := sim.Bytes(batch.ByteSize())
+			e.span("xfer", dramToCPU.Name, obs.SpanTransfer, dramToCPU.Transfer(bn), bn)
 		}
 		return batch, nil
 	})
 
 	// Operator tree, all on the CPU.
+	charge := func(in exec.Iterator, op fabric.OpClass, name string) exec.Iterator {
+		return &chargeIter{in: in, dev: e.cpu, op: op, name: name, tr: tr, clock: clock}
+	}
 	if q.Filter != nil {
-		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpFilter}
+		it = charge(it, fabric.OpFilter, "filter")
 		it = &exec.FilterIter{In: it, Pred: q.Filter}
 	}
 	switch {
 	case q.CountOnly:
-		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpCount}
+		it = charge(it, fabric.OpCount, "count")
 		it = &exec.AggIter{In: it, Spec: expr.GroupBy{Aggs: []expr.AggSpec{{Func: expr.Count}}}}
 	case q.GroupBy != nil:
-		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpAggregate}
+		it = charge(it, fabric.OpAggregate, "aggregate")
 		it = &exec.AggIter{In: it, Spec: *q.GroupBy}
 	case q.Projection != nil:
-		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpProject}
+		it = charge(it, fabric.OpProject, "project")
 		it = &exec.ProjectIter{In: it, Columns: q.Projection}
 	}
 	if q.OrderBy >= 0 {
-		it = &chargeIter{in: it, dev: e.cpu, op: fabric.OpSort}
+		it = charge(it, fabric.OpSort, "sort")
 		it = &exec.SortIter{In: it, ByCol: q.OrderBy}
 	}
 	if q.Limit > 0 {
@@ -207,7 +276,8 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Batches: batches}
+	res := &Result{Batches: batches, Trace: tr}
+	sampleMeterSeries(e.Cluster, tr, before)
 	res.Stats = e.buildStats(before, res)
 	res.Stats.PeakMemory += maxDecoded
 	// The baseline still benefits from whatever retrying the object store
@@ -217,17 +287,6 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 	res.Stats.ReplicaFallbacks = rec.ReplicaFallbacks
 	res.Stats.RecoveryBytes = rec.RetryBytes
 	return res, nil
-}
-
-func (e *VolcanoEngine) snapshotMeters() map[meterKey]sim.Snapshot {
-	out := make(map[meterKey]sim.Snapshot)
-	for _, d := range e.Cluster.Devices() {
-		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
-	}
-	for _, l := range e.Cluster.Links() {
-		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
-	}
-	return out
 }
 
 // buildStats mirrors the data-flow engine's accounting so results are

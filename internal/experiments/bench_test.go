@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// Benchmark smoke targets: CI runs these with -benchtime=1x so a perf
+// regression that turns into a hang or an error is caught cheaply; local
+// runs with real benchtime give comparable numbers.
+
+func BenchmarkE1ConventionalPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := E1ConventionalPath(20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE20StageOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := E20StageOverlap(20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

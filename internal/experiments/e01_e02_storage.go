@@ -151,6 +151,7 @@ func E2StoragePushdown(rows int, selectivities []float64) (*E2Result, error) {
 			f(row.Reduction)+"x",
 			row.CPUOnlyTime.String(), row.PushdownTime.String(),
 		)
+		res.Table.SetMetric(fmt.Sprintf("reduction@%g", sel), row.Reduction)
 	}
 	return res, nil
 }

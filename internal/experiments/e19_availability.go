@@ -211,6 +211,8 @@ func E19Availability(rows int) (*E19Result, error) {
 			fmt.Sprintf("%d/%d", row.VoOK, total),
 			d(row.Retries), d(row.Fallbacks), d(row.Failovers),
 			f(row.DFInflation), voX)
+		res.Table.SetMetric(fmt.Sprintf("df_ok@%g", rate), float64(row.DFOK)/float64(total))
+		res.Table.SetMetric(fmt.Sprintf("vo_ok@%g", rate), float64(row.VoOK)/float64(total))
 	}
 	return res, nil
 }

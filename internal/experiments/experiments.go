@@ -21,11 +21,23 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Metrics carries the experiment's key scalars in machine-readable
+	// form; dfbench -json exports them as the run's perf artifact so CI
+	// can track them without parsing rendered rows.
+	Metrics map[string]float64
 }
 
 // AddRow appends a row built from the given cells.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// SetMetric records one machine-readable scalar for the JSON artifact.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
 }
 
 // String renders the table in aligned plain text.

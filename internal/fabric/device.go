@@ -105,9 +105,7 @@ func (d *Device) Charge(op OpClass, n sim.Bytes) sim.VTime {
 		panic(fmt.Sprintf("fabric: device %s (%s) cannot execute %s", d.Name, d.Kind, op))
 	}
 	t := rate.TimeFor(n)
-	d.Meter.AddBytes(n)
-	d.Meter.AddBusy(t)
-	d.Meter.AddOps(1)
+	d.Meter.Add(sim.Snapshot{Bytes: n, Busy: t, Ops: 1})
 	return t
 }
 

@@ -105,9 +105,7 @@ func (l *Link) EffectiveBandwidth() sim.Rate {
 // returns the virtual time it took.
 func (l *Link) Transfer(n sim.Bytes) sim.VTime {
 	t := l.Latency + l.EffectiveBandwidth().TimeFor(n)
-	l.Meter.AddBytes(n)
-	l.Meter.AddBusy(t)
-	l.Meter.AddOps(1)
+	l.Meter.Add(sim.Snapshot{Bytes: n, Busy: t, Ops: 1})
 	return t
 }
 
@@ -115,8 +113,7 @@ func (l *Link) Transfer(n sim.Bytes) sim.VTime {
 // coherency invalidation) crossing the link. Control messages cost one
 // latency and are counted separately from payload bytes.
 func (l *Link) Message() sim.VTime {
-	l.Meter.AddMessages(1)
-	l.Meter.AddBusy(l.Latency)
+	l.Meter.Add(sim.Snapshot{Busy: l.Latency, Messages: 1})
 	return l.Latency
 }
 

@@ -326,7 +326,7 @@ func TestLongChainManyBatches(t *testing.T) {
 
 func TestPortStatsString(t *testing.T) {
 	done := make(chan struct{})
-	port := newPort("x", nil, 4, 2, done)
+	port := newPort("x", nil, 4, 2, done, nil)
 	if err := port.Send(intBatch(1, 2)); err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/columnar"
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -66,6 +67,19 @@ type Pipeline struct {
 	// A fired fault marks the device offline and fails the stage, which
 	// is how E19 kills devices mid-query.
 	Faults *faults.Injector
+	// Trace, when non-nil, makes the run record a causal tape (batch
+	// costs, emission counts, per-link transfer costs) and replay it into
+	// a deterministic virtual-time span timeline after the stream drains.
+	// Nil disables all recording at zero per-batch cost.
+	Trace *obs.Trace
+	// Clock is the virtual clock the source's emissions are stamped
+	// with; the storage scan advances it as it charges media and decode
+	// work. Nil freezes the source at virtual time 0 (all batches ready
+	// immediately).
+	Clock *obs.VClock
+	// SourceTrack names the device feeding the source, for attributing
+	// source-side credit stalls in the trace.
+	SourceTrack string
 }
 
 // Result reports what a pipeline run did.
@@ -128,13 +142,36 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 		cancelOnce.Do(func() { close(done) })
 	}
 
+	// When tracing, each run records a causal tape: stage tapes are
+	// written only by their own goroutines (Inputs by the receiver,
+	// Xfers by the single upstream sender), so recording takes no locks.
+	var tape *obs.Tape
+	var stageTapes []*obs.StageTape
+	if p.Trace.Enabled() {
+		tape = obs.NewTape(depth)
+		tape.Source.Track = p.SourceTrack
+		stageTapes = make([]*obs.StageTape, len(p.Stages))
+		for i, st := range p.Stages {
+			track := ""
+			if st.Device != nil {
+				track = st.Device.Name
+			}
+			stageTapes[i] = &obs.StageTape{Name: st.Stage.Name(), Track: track, FaultInput: -1}
+		}
+		tape.Stages = stageTapes
+	}
+
 	ports := make([]*Port, len(p.Stages))
 	for i := range p.Stages {
 		var path []*fabric.Link
 		if len(p.Paths) > 0 {
 			path = p.Paths[i]
 		}
-		ports[i] = newPort(fmt.Sprintf("%s.port%d", p.Name, i), path, depth, creditBatch, done)
+		var pt *obs.StageTape
+		if stageTapes != nil {
+			pt = stageTapes[i]
+		}
+		ports[i] = newPort(fmt.Sprintf("%s.port%d", p.Name, i), path, depth, creditBatch, done, pt)
 	}
 
 	res.BatchesIn = make([]int64, len(p.Stages))
@@ -165,6 +202,10 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 			emit = ports[0].Send
 		}
 		if err := p.Source(func(b *columnar.Batch) error {
+			if tape != nil {
+				tape.Source.Emits = append(tape.Source.Emits,
+					obs.Emission{At: p.Clock.Now(), Bytes: sim.Bytes(b.ByteSize())})
+			}
 			if len(ports) == 0 {
 				res.SinkBatches++
 				res.SinkRows += int64(b.NumRows())
@@ -186,6 +227,10 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 			defer wg.Done()
 			st := p.Stages[i]
 			in := ports[i]
+			var ts *obs.StageTape
+			if stageTapes != nil {
+				ts = stageTapes[i]
+			}
 			var out Emit
 			last := i == len(p.Stages)-1
 			if last {
@@ -221,10 +266,22 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 				}
 				return nil
 			}
+			// recordFault marks on the tape where the stage died so the
+			// replayed timeline carries the annotation.
+			recordFault := func(err error) {
+				if ts != nil {
+					ts.FaultInput = len(ts.Inputs)
+					ts.FaultDetail = err.Error()
+				}
+			}
 			if err := offline(); err != nil {
+				recordFault(err)
 				fail(err)
 			} else if st.Device != nil {
-				st.Device.ChargeSetup()
+				setup := st.Device.ChargeSetup()
+				if ts != nil {
+					ts.Setup = setup
+				}
 			}
 			for {
 				b, ok, err := in.Recv()
@@ -233,23 +290,29 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 					break
 				}
 				if !ok {
+					before := res.BatchesOut[i]
 					busySince[i].Store(time.Now().UnixNano())
 					err := st.Stage.Flush(out)
 					busySince[i].Store(0)
 					if err != nil {
 						fail(err)
+					} else if ts != nil {
+						ts.FlushOuts = int(res.BatchesOut[i] - before)
 					}
 					break
 				}
 				res.BatchesIn[i]++
 				if err := offline(); err != nil {
+					recordFault(err)
 					fail(err)
 					in.CreditReturn()
 					break
 				}
+				var cost sim.VTime
 				if st.ChargeInput && st.Device != nil {
-					st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
+					cost = st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
 				}
+				before := res.BatchesOut[i]
 				busySince[i].Store(time.Now().UnixNano())
 				perr := st.Stage.Process(b, out)
 				busySince[i].Store(0)
@@ -257,6 +320,13 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 					fail(perr)
 					in.CreditReturn()
 					break
+				}
+				if ts != nil {
+					ts.Inputs = append(ts.Inputs, obs.TapeInput{
+						Bytes: sim.Bytes(b.ByteSize()),
+						Cost:  cost,
+						Outs:  int(res.BatchesOut[i] - before),
+					})
 				}
 				in.CreditReturn()
 			}
@@ -317,6 +387,13 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 	watchWG.Wait()
 	for _, port := range ports {
 		res.Ports = append(res.Ports, port.Stats())
+	}
+	// The tape is complete (all writers joined); replay it into the
+	// trace's span timeline. Replay is deterministic in the tape, and the
+	// tape depends only on batch order and sizes — not on how the host
+	// scheduled the goroutines above.
+	if tape != nil {
+		tape.Replay(p.Trace)
 	}
 	return res, firstErr
 }

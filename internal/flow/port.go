@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/columnar"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,10 @@ type Port struct {
 	ch      chan *columnar.Batch
 	credits chan struct{}
 	done    <-chan struct{}
+	// tape is the receiving stage's tape; only the single sending
+	// goroutine appends to its Xfers, so no lock is needed. Nil when
+	// tracing is off, keeping Send allocation-free.
+	tape *obs.StageTape
 
 	pending    atomic.Int64 // credits held back at the receiver
 	dataMsgs   atomic.Int64
@@ -48,8 +53,9 @@ type Port struct {
 // newPort builds a port of the given depth. creditBatch controls how
 // many consumed credits the receiver accumulates before returning them
 // in one control message; it is clamped to at most half the depth so the
-// sender can never starve.
-func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-chan struct{}) *Port {
+// sender can never starve. tape, when non-nil, is the receiving stage's
+// tape; Send appends each batch's per-link transfer costs to it.
+func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-chan struct{}, tape *obs.StageTape) *Port {
 	if depth < 1 {
 		depth = 1
 	}
@@ -70,6 +76,7 @@ func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-ch
 		ch:          make(chan *columnar.Batch, depth),
 		credits:     make(chan struct{}, depth),
 		done:        done,
+		tape:        tape,
 	}
 	for i := 0; i < depth; i++ {
 		p.credits <- struct{}{}
@@ -92,8 +99,16 @@ func (p *Port) Send(b *columnar.Batch) error {
 	case <-p.credits:
 	}
 	n := sim.Bytes(b.ByteSize())
-	for _, l := range p.Path {
-		l.Transfer(n)
+	if p.tape != nil {
+		x := obs.Xfer{Bytes: n, Hops: make([]obs.Hop, 0, len(p.Path))}
+		for _, l := range p.Path {
+			x.Hops = append(x.Hops, obs.Hop{Link: l.Name, Cost: l.Transfer(n)})
+		}
+		p.tape.Xfers = append(p.tape.Xfers, x)
+	} else {
+		for _, l := range p.Path {
+			l.Transfer(n)
+		}
 	}
 	p.dataMsgs.Add(1)
 	p.bytes.Add(int64(n))

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sim"
 )
@@ -163,6 +164,27 @@ func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
 		s.linkLoad[l]++
 	}
 	s.rebalanceLocked()
+	return adm, nil
+}
+
+// AdmitTraced is Admit plus an admission event on the trace: which
+// variant won, out of how many candidates, and what it placed where —
+// the placement decision a timeline reader needs to interpret the
+// stage tracks that follow. A nil trace reduces to plain Admit.
+func (s *Scheduler) AdmitTraced(variants []*plan.Physical, tr *obs.Trace) (*Admission, error) {
+	adm, err := s.Admit(variants)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Enabled() {
+		tr.AddEvent(obs.Event{
+			Name:  "admit",
+			Track: "sched",
+			At:    0,
+			Detail: fmt.Sprintf("variant %q chosen from %d candidates; devices %v",
+				adm.Variant, len(variants), adm.Plan.PlacedDevices()),
+		})
+	}
 	return adm, nil
 }
 

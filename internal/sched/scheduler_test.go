@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/columnar"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -56,6 +58,30 @@ func TestAdmitPicksTopVariantWhenIdle(t *testing.T) {
 	if s.ActiveCount() != 0 {
 		t.Error("release did not drain")
 	}
+}
+
+func TestAdmitTracedRecordsDecision(t *testing.T) {
+	_, v0, _ := twoNodeVariants(t)
+	s := New()
+	tr := obs.New()
+	adm, err := s.AdmitTraced(v0, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release(adm)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "admit" || evs[0].Track != "sched" {
+		t.Fatalf("events = %+v, want one admit on sched track", evs)
+	}
+	if !strings.Contains(evs[0].Detail, adm.Variant) {
+		t.Errorf("admit detail %q does not name chosen variant %q", evs[0].Detail, adm.Variant)
+	}
+	// Nil trace must behave exactly like Admit.
+	adm2, err := s.AdmitTraced(v0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(adm2)
 }
 
 func TestAdmitRequiresVariants(t *testing.T) {

@@ -3,51 +3,102 @@ package sim
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 )
 
 // Meter accumulates traffic and busy time for one simulated resource
 // (a device or a link). All methods are safe for concurrent use; pipeline
 // stages run on separate goroutines and charge their own costs.
+//
+// The counters are guarded by one mutex rather than independent atomics
+// so that Snapshot observes a consistent state: a charge that touches
+// several counters (Add) is applied indivisibly, and a snapshot taken
+// mid-query never mixes the bytes of one charge with the busy time of
+// another. The observability layer samples meters while stages are still
+// charging, which made the old torn four-load snapshot a real hazard
+// rather than a theoretical one.
 type Meter struct {
-	bytes    atomic.Int64 // payload bytes processed or moved
-	busy     atomic.Int64 // virtual nanoseconds of busy time
-	ops      atomic.Int64 // discrete operations (transfers, kernel launches)
-	messages atomic.Int64 // protocol/control messages (credits, invalidations)
+	mu       sync.Mutex
+	bytes    int64 // payload bytes processed or moved
+	busy     int64 // virtual nanoseconds of busy time
+	ops      int64 // discrete operations (transfers, kernel launches)
+	messages int64 // protocol/control messages (credits, invalidations)
+}
+
+// Add charges a whole snapshot's worth of counters in one indivisible
+// step. Devices and links use it so a single logical charge (bytes +
+// busy + op) can never be observed half-applied.
+func (m *Meter) Add(s Snapshot) {
+	m.mu.Lock()
+	m.bytes += int64(s.Bytes)
+	m.busy += int64(s.Busy)
+	m.ops += s.Ops
+	m.messages += s.Messages
+	m.mu.Unlock()
 }
 
 // AddBytes charges n payload bytes to the meter.
-func (m *Meter) AddBytes(n Bytes) { m.bytes.Add(int64(n)) }
+func (m *Meter) AddBytes(n Bytes) {
+	m.mu.Lock()
+	m.bytes += int64(n)
+	m.mu.Unlock()
+}
 
 // AddBusy charges t of virtual busy time to the meter.
-func (m *Meter) AddBusy(t VTime) { m.busy.Add(int64(t)) }
+func (m *Meter) AddBusy(t VTime) {
+	m.mu.Lock()
+	m.busy += int64(t)
+	m.mu.Unlock()
+}
 
 // AddOps charges n discrete operations.
-func (m *Meter) AddOps(n int64) { m.ops.Add(n) }
+func (m *Meter) AddOps(n int64) {
+	m.mu.Lock()
+	m.ops += n
+	m.mu.Unlock()
+}
 
 // AddMessages charges n protocol messages (e.g. credit grants, coherency
 // invalidations). Counted separately so experiments can report the
 // control-traffic overhead the paper claims is low (Section 7.1).
-func (m *Meter) AddMessages(n int64) { m.messages.Add(n) }
+func (m *Meter) AddMessages(n int64) {
+	m.mu.Lock()
+	m.messages += n
+	m.mu.Unlock()
+}
 
 // Bytes reports total payload bytes charged so far.
-func (m *Meter) Bytes() Bytes { return Bytes(m.bytes.Load()) }
+func (m *Meter) Bytes() Bytes {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Bytes(m.bytes)
+}
 
 // Busy reports total virtual busy time charged so far.
-func (m *Meter) Busy() VTime { return VTime(m.busy.Load()) }
+func (m *Meter) Busy() VTime {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return VTime(m.busy)
+}
 
 // Ops reports total discrete operations charged so far.
-func (m *Meter) Ops() int64 { return m.ops.Load() }
+func (m *Meter) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
 
 // Messages reports total protocol messages charged so far.
-func (m *Meter) Messages() int64 { return m.messages.Load() }
+func (m *Meter) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
 
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
-	m.bytes.Store(0)
-	m.busy.Store(0)
-	m.ops.Store(0)
-	m.messages.Store(0)
+	m.mu.Lock()
+	m.bytes, m.busy, m.ops, m.messages = 0, 0, 0, 0
+	m.mu.Unlock()
 }
 
 // Snapshot is a point-in-time copy of a Meter's counters.
@@ -58,13 +109,17 @@ type Snapshot struct {
 	Messages int64
 }
 
-// Snapshot returns a copy of the current counters.
+// Snapshot returns a consistent copy of the current counters: all four
+// are read under one lock, so the result reflects a state the meter
+// actually passed through.
 func (m *Meter) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return Snapshot{
-		Bytes:    m.Bytes(),
-		Busy:     m.Busy(),
-		Ops:      m.Ops(),
-		Messages: m.Messages(),
+		Bytes:    Bytes(m.bytes),
+		Busy:     VTime(m.busy),
+		Ops:      m.ops,
+		Messages: m.messages,
 	}
 }
 
@@ -124,7 +179,10 @@ func (s *MeterSet) ResetAll() {
 	}
 }
 
-// Snapshots returns a copy of every meter's counters keyed by name.
+// Snapshots returns a copy of every meter's counters keyed by name. Each
+// meter's snapshot is internally consistent (see Meter.Snapshot); the
+// set as a whole is not a global atomic cut, which is fine for the
+// per-resource deltas the engines and traces compute.
 func (s *MeterSet) Snapshots() map[string]Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()

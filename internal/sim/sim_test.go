@@ -122,6 +122,36 @@ func TestMeterConcurrent(t *testing.T) {
 	}
 }
 
+func TestMeterSnapshotConsistency(t *testing.T) {
+	// Every Add charges all four counters by the same amount, so any
+	// consistent snapshot must have them equal. With the old
+	// independent-atomic counters a concurrent snapshot could observe
+	// the bytes of one charge without its busy time — a torn read this
+	// test catches reliably under -race scheduling pressure.
+	var m Meter
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			m.Add(Snapshot{Bytes: 1, Busy: 1, Ops: 1, Messages: 1})
+		}
+	}()
+	for {
+		s := m.Snapshot()
+		if int64(s.Bytes) != int64(s.Busy) || s.Ops != s.Messages || int64(s.Bytes) != s.Ops {
+			t.Fatalf("torn snapshot: %+v", s)
+		}
+		select {
+		case <-done:
+			if got := m.Snapshot(); got.Bytes != 5000 {
+				t.Fatalf("final bytes = %d, want 5000", got.Bytes)
+			}
+			return
+		default:
+		}
+	}
+}
+
 func TestMeterSet(t *testing.T) {
 	set := NewMeterSet()
 	set.Get("b").AddBytes(1)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,17 @@ type ScanSpec struct {
 	// BatchRows bounds the rows per emitted batch so consumers stream
 	// with bounded in-flight memory; 0 means DefaultBatchRows.
 	BatchRows int
+	// Trace, when non-nil, records media reads, the media link transfer,
+	// decode, and pushed-down operator work as virtual-time spans, plus
+	// retry events. The scan replays its own internal pipeline onto the
+	// trace: media read-ahead, link DMA and processor work each serialize
+	// on their own track but overlap across segments, exactly as the
+	// smart storage server streams. Clock is advanced to the processor's
+	// frontier before each emit, so a consumer stamping emitted batches
+	// with its reading sees when each batch actually left the processor;
+	// the engines set both together (nil = tracing off).
+	Trace *obs.Trace
+	Clock *obs.VClock
 }
 
 // DefaultBatchRows is the streaming granule when ScanSpec.BatchRows is
@@ -80,6 +92,62 @@ type ScanStats struct {
 	Retries          int64
 	ReplicaFallbacks int64
 	RetryBytes       sim.Bytes
+}
+
+// scanPipe replays one scan's internal three-stage pipeline onto a
+// trace: media reads, media-link DMA and processor work (decode plus
+// pushed-down operators) each serialize on their own resource frontier
+// but run ahead of one another across segments — segment k+1 is read
+// while segment k decodes, which is how the storage server actually
+// streams and what the repo's bottleneck-based SimTime model assumes.
+type scanPipe struct {
+	tr    *obs.Trace
+	clock *obs.VClock
+
+	mediaFree sim.VTime
+	linkFree  sim.VTime
+	procFree  sim.VTime
+}
+
+func (p *scanPipe) span(name, track string, kind obs.SpanKind, start, cost sim.VTime, seq int64, n sim.Bytes) sim.VTime {
+	end := start + cost
+	p.tr.AddSpan(obs.Span{Name: name, Track: track, Kind: kind,
+		Start: start, End: end, Seq: seq, Bytes: n})
+	return end
+}
+
+// segment replays one segment's read -> DMA -> decode chain. Each step
+// starts when both its predecessor for this segment and its own
+// resource are free.
+func (p *scanPipe) segment(seq int64, n sim.Bytes, media, proc string, link *fabric.Link, readCost, xferCost, decodeCost sim.VTime) {
+	p.mediaFree = p.span("read", media, obs.SpanScan, p.mediaFree, readCost, seq, n)
+	ready := p.mediaFree
+	if link != nil {
+		start := ready
+		if p.linkFree > start {
+			start = p.linkFree
+		}
+		p.linkFree = p.span("xfer", link.Name, obs.SpanTransfer, start, xferCost, seq, n)
+		ready = p.linkFree
+	}
+	start := ready
+	if p.procFree > start {
+		start = p.procFree
+	}
+	p.procFree = p.span("decode", proc, obs.SpanScan, start, decodeCost, seq, n)
+}
+
+// procOp replays one pushed-down operator, serialized on the processor.
+func (p *scanPipe) procOp(name, proc string, cost sim.VTime, seq int64, n sim.Bytes) {
+	p.procFree = p.span(name, proc, obs.SpanStage, p.procFree, cost, seq, n)
+}
+
+// sync advances the shared clock to the processor frontier — the moment
+// the batch about to be emitted actually became available downstream.
+func (p *scanPipe) sync() {
+	if d := p.procFree - p.clock.Now(); d > 0 {
+		p.clock.Advance(d)
+	}
 }
 
 // Server is the storage node: an object store behind media and an
@@ -257,11 +325,19 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 	procStart := s.proc.Meter.Busy()
 	stats.SegmentsTotal = len(t.SegmentKeys)
 
+	var pipe *scanPipe
+	if spec.Trace != nil {
+		pipe = &scanPipe{tr: spec.Trace, clock: spec.Clock}
+	}
+
 	batchRows := spec.BatchRows
 	if batchRows <= 0 {
 		batchRows = DefaultBatchRows
 	}
 	emitTracked := func(b *columnar.Batch) error {
+		if pipe != nil {
+			pipe.sync()
+		}
 		stats.ShippedBytes += sim.Bytes(b.ByteSize())
 		stats.ShippedRows += int64(b.NumRows())
 		for off := 0; off < b.NumRows(); off += batchRows {
@@ -276,13 +352,13 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 		return nil
 	}
 
-	for _, key := range t.SegmentKeys {
+	for segIdx, key := range t.SegmentKeys {
 		var seg *Segment
 		var batch *columnar.Batch
 		skip := false
 		for attempt := 0; ; attempt++ {
 			var segErr error
-			seg, batch, skip, segErr = s.readSegment(key, needed, spec, attempt, &stats)
+			seg, batch, skip, segErr = s.readSegment(key, needed, spec, pipe, segIdx, attempt, &stats)
 			if segErr == nil {
 				break
 			}
@@ -294,6 +370,10 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 				return stats, fmt.Errorf("storage: %s: %w", key, segErr)
 			}
 			stats.Retries++
+			if spec.Trace != nil {
+				spec.Trace.AddEvent(obs.Event{Name: "retry", Track: s.media.Name,
+					At: spec.Clock.Now(), Detail: fmt.Sprintf("%s: %v", key, segErr)})
+			}
 			s.store.backoff(attempt)
 		}
 		if skip {
@@ -301,13 +381,23 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 			continue
 		}
 
+		// procSpan replays one pushed-down operator's work on the storage
+		// processor's track, serialized behind this segment's decode.
+		procSpan := func(name string, c sim.VTime, n sim.Bytes) {
+			if pipe != nil {
+				pipe.procOp(name, s.proc.Name, c, int64(segIdx), n)
+			}
+		}
+
 		if spec.Pushdown && filter != nil {
-			s.proc.Charge(fabric.OpFilter, seg.ColumnDecodedSize(spec.Filter.Columns()))
+			n := seg.ColumnDecodedSize(spec.Filter.Columns())
+			procSpan("filter@storage", s.proc.Charge(fabric.OpFilter, n), n)
 			batch = batch.Filter(filter.Eval(batch))
 		}
 
 		if preagg != nil {
-			s.proc.Charge(fabric.OpPreAgg, sim.Bytes(batch.ByteSize()))
+			n := sim.Bytes(batch.ByteSize())
+			procSpan("preagg@storage", s.proc.Charge(fabric.OpPreAgg, n), n)
 			for _, spill := range preagg.AddRaw(batch) {
 				if err := emitTracked(spill); err != nil {
 					return stats, err
@@ -323,7 +413,8 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 		if spec.Pushdown {
 			out = batch.Project(projPos)
 			if len(projection) < t.Schema.NumFields() {
-				s.proc.Charge(fabric.OpProject, sim.Bytes(out.ByteSize()))
+				n := sim.Bytes(out.ByteSize())
+				procSpan("project@storage", s.proc.Charge(fabric.OpProject, n), n)
 			}
 		}
 		if out.NumRows() > 0 {
@@ -351,7 +442,7 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 // error wrapping encoding.ErrCorrupt for Scan's retry loop; re-reads
 // (attempt > 0) charge the media again and count toward RetryBytes, so
 // recovery shows up as real extra work in the meters.
-func (s *Server) readSegment(key string, needed []int, spec ScanSpec, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
 	blob, err := s.store.GetNoCopy(key)
 	if err != nil {
 		return nil, nil, false, err
@@ -374,11 +465,16 @@ func (s *Server) readSegment(key string, needed []int, spec ScanSpec, attempt in
 		encoded += sim.Bytes(seg.Columns[c].EncodedSize())
 	}
 	stats.MediaBytes += encoded
-	s.media.Charge(fabric.OpScan, encoded)
+	readCost := s.media.Charge(fabric.OpScan, encoded)
+	var xferCost sim.VTime
 	if s.mediaLink != nil {
-		s.mediaLink.Transfer(encoded)
+		xferCost = s.mediaLink.Transfer(encoded)
 	}
-	s.proc.Charge(fabric.OpDecompress, encoded)
+	decodeCost := s.proc.Charge(fabric.OpDecompress, encoded)
+	if pipe != nil {
+		pipe.segment(int64(segIdx), encoded, s.media.Name, s.proc.Name,
+			s.mediaLink, readCost, xferCost, decodeCost)
+	}
 
 	batch, err := seg.DecodeColumns(needed)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/columnar"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -227,6 +228,40 @@ func TestServerCreateAppendScan(t *testing.T) {
 	}
 	if stats.ShippedRows != 5000 || stats.ShippedBytes <= 0 || stats.MediaBytes <= 0 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestScanTraceSpans(t *testing.T) {
+	srv := newTestServer(t, true)
+	loadTable(t, srv, 5000)
+	tr := obs.New()
+	clock := obs.NewVClock()
+	emit, _ := collect(t)
+	spec := ScanSpec{
+		Filter:   expr.NewCmp(1, expr.Lt, columnar.IntValue(5)),
+		Pushdown: true,
+		Trace:    tr,
+		Clock:    clock,
+	}
+	if _, err := srv.Scan("lineitem", spec, emit); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range tr.Spans() {
+		counts[s.Name]++
+	}
+	// 5 segments, none pruned: each reads, crosses the media link,
+	// decodes, and filters.
+	for _, name := range []string{"read", "xfer", "decode", "filter@storage"} {
+		if counts[name] != 5 {
+			t.Errorf("span %q count = %d, want 5 (all: %v)", name, counts[name], counts)
+		}
+	}
+	if clock.Now() <= 0 {
+		t.Error("scan did not advance the virtual clock")
+	}
+	if mk := tr.Makespan(); mk != clock.Now() {
+		t.Errorf("trace makespan %v != clock %v: scan spans not contiguous", mk, clock.Now())
 	}
 }
 
