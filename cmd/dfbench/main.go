@@ -3,6 +3,7 @@
 // Usage:
 //
 //	dfbench [-rows N] [-only E2,E7] [-list] [-trace FILE] [-json FILE]
+//	        [-deadline D] [-offered-load 1,4,16]
 //
 // Each experiment reproduces the scenario of one figure or Section-7
 // claim of "Data Flow Architectures for Data Processing on Modern
@@ -16,6 +17,10 @@
 //
 // -json FILE writes a machine-readable perf artifact (conventionally
 // BENCH_results.json): every executed experiment's key metrics.
+//
+// -deadline and -offered-load parameterize the E21 lifecycle sweep: the
+// per-query deadline its overload half judges shedding against, and the
+// concurrent-arrival burst sizes it offers.
 package main
 
 import (
@@ -23,12 +28,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+var (
+	deadline = flag.Duration("deadline", 0,
+		"per-query deadline for the E21 overload sweep (0 = experiment default)")
+	offeredLoad = flag.String("offered-load", "",
+		"comma-separated E21 burst sizes, e.g. 1,4,16 (empty = experiment default)")
+)
+
+// e21Options translates the command-line flags into E21's knobs.
+func e21Options() (experiments.E21Options, error) {
+	opts := experiments.E21Options{Deadline: *deadline}
+	if *offeredLoad != "" {
+		for _, s := range strings.Split(*offeredLoad, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return opts, fmt.Errorf("bad -offered-load entry %q", s)
+			}
+			opts.OfferedLoads = append(opts.OfferedLoads, n)
+		}
+	}
+	return opts, nil
+}
 
 type experiment struct {
 	id   string
@@ -187,6 +215,17 @@ func registry() []experiment {
 		}},
 		{"E20", "staged pipeline overlap from virtual-time traces (Section 4)", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.E20StageOverlap(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E21", "query lifecycle: recovery waste and overload shedding (robustness)", func(rows int) (*experiments.Table, error) {
+			opts, err := e21Options()
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.E21Lifecycle(rows, opts)
 			if err != nil {
 				return nil, err
 			}

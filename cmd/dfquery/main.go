@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -162,7 +163,7 @@ func main() {
 				log.Fatalf("variant %q not produced; available: %v", *variant, variantNames(variants))
 			}
 		}
-		res, err := eng.ExecutePlan(chosen)
+		res, err := eng.ExecutePlan(context.Background(), chosen)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func main() {
 		eng.Tracing = tracing
 		must(eng.CreateTable("lineitem", workload.LineitemSchema()))
 		must(eng.Load("lineitem", data))
-		res, err := eng.Execute(q)
+		res, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -145,7 +146,7 @@ func main() {
 			if analyze {
 				eng.Tracing = true
 			}
-			res, err := eng.Execute(q)
+			res, err := eng.Execute(context.Background(), q)
 			eng.Tracing = wasTracing
 			if err != nil {
 				fmt.Println("error:", err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 		df := core.NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
 		must(df.CreateTable("lineitem", workload.LineitemSchema()))
 		must(df.Load("lineitem", data))
-		dfRes, err := df.Execute(q)
+		dfRes, err := df.Execute(context.Background(), q)
 		must(err)
 
 		vo := core.NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), poolBytes)
@@ -40,9 +41,9 @@ func main() {
 		must(vo.CreateTable("lineitem", workload.LineitemSchema()))
 		must(vo.Load("lineitem", data))
 		// Two passes so the pool shows its steady-state hit rate.
-		_, err = vo.Execute(q)
+		_, err = vo.Execute(context.Background(), q)
 		must(err)
-		voRes, err := vo.Execute(q)
+		voRes, err := vo.Execute(context.Background(), q)
 		must(err)
 
 		fmt.Printf("%-10d %-12s %-16s %-16s %.0f%%\n",

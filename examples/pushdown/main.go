@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,9 +47,9 @@ func main() {
 				}
 			}
 		}
-		cpuRes, err := eng.ExecutePlan(cpuOnly)
+		cpuRes, err := eng.ExecutePlan(context.Background(), cpuOnly)
 		must(err)
-		pdRes, err := eng.ExecutePlan(pushdown)
+		pdRes, err := eng.ExecutePlan(context.Background(), pushdown)
 		must(err)
 		if cpuRes.Rows() != pdRes.Rows() {
 			log.Fatalf("variants disagree: %d vs %d rows", cpuRes.Rows(), pdRes.Rows())
@@ -69,7 +70,7 @@ func main() {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.02)).
 		WithProjection(workload.LExtendedPrice)
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	must(err)
 	fmt.Printf("  segments: %d total, %d pruned by min/max statistics, media read %s\n",
 		res.Stats.Scan.SegmentsTotal, res.Stats.Scan.SegmentsPruned, res.Stats.Scan.MediaBytes)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,9 +45,9 @@ func main() {
 
 	// 6. Execute on both engines: identical answers, very different
 	// data movement.
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	must(err)
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	must(err)
 
 	fmt.Println("result (dataflow):")

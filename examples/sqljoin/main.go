@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	q, err := sqlparse.Parse(sql, df)
 	must(err)
 	fmt.Printf("SQL: %s\ncompiled: %s\n\n", sql, q)
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	must(err)
 	fmt.Print(res.Format(5))
 	fmt.Printf("\nplaced as %q: %s moved, CPU touched %s\n\n",
@@ -52,9 +53,9 @@ func main() {
 		Probe: "lineitem", Build: "orders",
 		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
 	}
-	dfJoin, err := df.ExecuteJoin(jq)
+	dfJoin, err := df.ExecuteJoin(context.Background(), jq)
 	must(err)
-	voJoin, err := vo.ExecuteJoin(jq)
+	voJoin, err := vo.ExecuteJoin(context.Background(), jq)
 	must(err)
 	fmt.Printf("lineitem ⋈ orders: %d rows on both engines (match: %v)\n",
 		dfJoin.Rows(), dfJoin.Rows() == voJoin.Rows())

@@ -10,6 +10,7 @@
 package bufferpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,8 +27,9 @@ var ErrPoolFull = errors.New("bufferpool: all pages pinned, cannot evict")
 type PageID string
 
 // FetchFunc loads a page's bytes from backing storage on a miss. The
-// function is expected to charge the fabric for the I/O it models.
-type FetchFunc func(id PageID) ([]byte, error)
+// function is expected to charge the fabric for the I/O it models and to
+// honor ctx, so a cancelled query does not keep faulting pages in.
+type FetchFunc func(ctx context.Context, id PageID) ([]byte, error)
 
 // Page is one resident page.
 type Page struct {
@@ -85,8 +87,9 @@ func New(capacity sim.Bytes, fetch FetchFunc) *Pool {
 
 // Get returns the page, fetching and admitting it on a miss, and pins
 // it. Callers must Unpin when done. A page larger than the entire pool
-// is rejected.
-func (p *Pool) Get(id PageID) (*Page, error) {
+// is rejected. ctx is passed to the backing fetcher on a miss; hits
+// don't consult it.
+func (p *Pool) Get(ctx context.Context, id PageID) (*Page, error) {
 	p.mu.Lock()
 	if pg, ok := p.pages[id]; ok {
 		pg.pins++
@@ -100,7 +103,7 @@ func (p *Pool) Get(id PageID) (*Page, error) {
 
 	// Fetch outside the lock; concurrent misses on the same page may
 	// both fetch, and the second admit wins the check below.
-	data, err := p.fetch(id)
+	data, err := p.fetch(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("bufferpool: fetch %s: %w", id, err)
 	}

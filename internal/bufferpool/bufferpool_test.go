@@ -1,6 +1,7 @@
 package bufferpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,7 +22,7 @@ func newBacking(pageSize int) *fakeBacking {
 	return &fakeBacking{fetches: make(map[PageID]int), size: pageSize}
 }
 
-func (f *fakeBacking) fetch(id PageID) ([]byte, error) {
+func (f *fakeBacking) fetch(_ context.Context, id PageID) ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if id == f.failOn {
@@ -44,7 +45,7 @@ func (f *fakeBacking) fetchCount(id PageID) int {
 func TestGetHitMiss(t *testing.T) {
 	b := newBacking(100)
 	p := New(1000, b.fetch)
-	pg, err := p.Get("a")
+	pg, err := p.Get(ctxbg, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestGetHitMiss(t *testing.T) {
 		t.Errorf("page size = %v", pg.Size())
 	}
 	p.Unpin("a")
-	if _, err := p.Get("a"); err != nil {
+	if _, err := p.Get(ctxbg, "a"); err != nil {
 		t.Fatal(err)
 	}
 	p.Unpin("a")
@@ -72,12 +73,12 @@ func TestEvictionWhenFull(t *testing.T) {
 	b := newBacking(100)
 	p := New(250, b.fetch) // room for 2 pages
 	for _, id := range []PageID{"a", "b"} {
-		if _, err := p.Get(id); err != nil {
+		if _, err := p.Get(ctxbg, id); err != nil {
 			t.Fatal(err)
 		}
 		p.Unpin(id)
 	}
-	if _, err := p.Get("c"); err != nil {
+	if _, err := p.Get(ctxbg, "c"); err != nil {
 		t.Fatal(err)
 	}
 	p.Unpin("c")
@@ -93,13 +94,13 @@ func TestEvictionWhenFull(t *testing.T) {
 func TestPinnedPagesSurvive(t *testing.T) {
 	b := newBacking(100)
 	p := New(250, b.fetch)
-	if _, err := p.Get("pinned"); err != nil {
+	if _, err := p.Get(ctxbg, "pinned"); err != nil {
 		t.Fatal(err)
 	}
 	// Do not unpin. Fill the rest; "pinned" must never be evicted.
 	for i := 0; i < 10; i++ {
 		id := PageID(fmt.Sprintf("x%d", i))
-		if _, err := p.Get(id); err != nil {
+		if _, err := p.Get(ctxbg, id); err != nil {
 			t.Fatal(err)
 		}
 		p.Unpin(id)
@@ -112,9 +113,9 @@ func TestPinnedPagesSurvive(t *testing.T) {
 func TestAllPinnedError(t *testing.T) {
 	b := newBacking(100)
 	p := New(200, b.fetch)
-	p.Get("a")
-	p.Get("b") // both pinned, pool full
-	if _, err := p.Get("c"); !errors.Is(err, ErrPoolFull) {
+	p.Get(ctxbg, "a")
+	p.Get(ctxbg, "b") // both pinned, pool full
+	if _, err := p.Get(ctxbg, "c"); !errors.Is(err, ErrPoolFull) {
 		t.Fatalf("err = %v, want ErrPoolFull", err)
 	}
 }
@@ -122,7 +123,7 @@ func TestAllPinnedError(t *testing.T) {
 func TestOversizePageRejected(t *testing.T) {
 	b := newBacking(500)
 	p := New(100, b.fetch)
-	if _, err := p.Get("big"); err == nil {
+	if _, err := p.Get(ctxbg, "big"); err == nil {
 		t.Error("oversize page admitted")
 	}
 }
@@ -131,7 +132,7 @@ func TestFetchErrorPropagates(t *testing.T) {
 	b := newBacking(10)
 	b.failOn = "bad"
 	p := New(100, b.fetch)
-	if _, err := p.Get("bad"); err == nil {
+	if _, err := p.Get(ctxbg, "bad"); err == nil {
 		t.Error("fetch failure swallowed")
 	}
 }
@@ -144,7 +145,7 @@ func TestUnpinPanics(t *testing.T) {
 		id   PageID
 	}{
 		{"non-resident", func() {}, "ghost"},
-		{"already unpinned", func() { p.Get("a"); p.Unpin("a") }, "a"},
+		{"already unpinned", func() { p.Get(ctxbg, "a"); p.Unpin("a") }, "a"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tc.prep()
@@ -166,7 +167,7 @@ func TestClockSecondChance(t *testing.T) {
 	p := New(350, b.fetch)
 	get := func(id PageID) {
 		t.Helper()
-		if _, err := p.Get(id); err != nil {
+		if _, err := p.Get(ctxbg, id); err != nil {
 			t.Fatal(err)
 		}
 		p.Unpin(id)
@@ -196,7 +197,7 @@ func TestWorkingSetThrash(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 10; i++ {
 			id := PageID(fmt.Sprintf("p%d", i))
-			if _, err := p.Get(id); err != nil {
+			if _, err := p.Get(ctxbg, id); err != nil {
 				t.Fatal(err)
 			}
 			p.Unpin(id)
@@ -211,7 +212,7 @@ func TestWorkingSetThrash(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 10; i++ {
 			id := PageID(fmt.Sprintf("p%d", i))
-			if _, err := p2.Get(id); err != nil {
+			if _, err := p2.Get(ctxbg, id); err != nil {
 				t.Fatal(err)
 			}
 			p2.Unpin(id)
@@ -232,7 +233,7 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				id := PageID(fmt.Sprintf("p%d", i%20))
-				pg, err := p.Get(id)
+				pg, err := p.Get(ctxbg, id)
 				if err != nil {
 					t.Error(err)
 					return
@@ -270,3 +271,6 @@ func TestNewValidation(t *testing.T) {
 		})
 	}
 }
+
+// ctxbg keeps the many Get call sites short.
+var ctxbg = context.Background()

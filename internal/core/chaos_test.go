@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -45,7 +46,7 @@ func TestChaosTransientStorageFaults(t *testing.T) {
 	}
 	expected := make([]map[string]int, len(queries)) // rendered row -> count
 	for i, q := range queries {
-		res, err := clean.Execute(q)
+		res, err := clean.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestChaosTransientStorageFaults(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				qi := (w + r) % len(queries)
-				res, err := df.ExecuteOn(queries[qi], w%2)
+				res, err := df.ExecuteOn(context.Background(), queries[qi], w%2)
 				if err != nil {
 					errs <- err
 					return
@@ -131,7 +132,7 @@ func TestDeviceKillMidQueryFailsOver(t *testing.T) {
 	df, _, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
 
-	clean, err := df.Execute(q)
+	clean, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestDeviceKillMidQueryFailsOver(t *testing.T) {
 	inj.Arm(faults.Point{Kind: faults.DeviceOffline, Target: target, Prob: 1, Budget: 1})
 	df.Faults = inj
 
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("query did not survive killing %s: %v", target, err)
 	}
@@ -191,7 +192,7 @@ func TestDeviceKillMidQueryFailsOver(t *testing.T) {
 
 	// The device is still dead: follow-up queries plan around it without
 	// needing a failover.
-	res2, err := df.Execute(q)
+	res2, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func mustPlanned(t *testing.T, df *DataFlowEngine, q *plan.Query, variant string
 func TestAllAcceleratorsDeadDegradesToCPU(t *testing.T) {
 	df, _, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
-	clean, err := df.Execute(q)
+	clean, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestAllAcceleratorsDeadDegradesToCPU(t *testing.T) {
 	} {
 		df.Cluster.MustDevice(name).SetOffline(true)
 	}
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("CPU-only degradation failed: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -93,11 +94,11 @@ func TestEnginesAgreeOnFilterProjection(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.05)).
 		WithProjection(workload.LOrderKey, workload.LExtendedPrice)
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestEnginesAgreeOnFilterProjection(t *testing.T) {
 func TestEnginesAgreeOnGroupBy(t *testing.T) {
 	df, vo, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestEnginesAgreeOnFilteredGroupBy(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.2)).
 		WithGroupBy(workload.PricingSummary())
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +146,11 @@ func TestEnginesAgreeOnCount(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.1)).
 		WithCount()
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestEnginesAgreeOnHighCardinalityGroupBy(t *testing.T) {
 	// budgets force spill-and-merge correctness end to end.
 	df, vo, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PartVolume())
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +182,11 @@ func TestDataFlowMovesFewerBytes(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.02)).
 		WithProjection(workload.LExtendedPrice)
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestDataFlowNeedsLessMemory(t *testing.T) {
 		if err := df.Load("lineitem", data); err != nil {
 			t.Fatal(err)
 		}
-		dfRes, err := df.Execute(q)
+		dfRes, err := df.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestDataFlowNeedsLessMemory(t *testing.T) {
 		if err := vo.Load("lineitem", data); err != nil {
 			t.Fatal(err)
 		}
-		voRes, err := vo.Execute(q)
+		voRes, err := vo.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func TestDataFlowNeedsLessMemory(t *testing.T) {
 func TestExecStatsPopulated(t *testing.T) {
 	df, _, cfg := newEngines(t)
 	q := plan.NewQuery("lineitem").WithFilter(workload.SelectivityFilter(cfg, 0.1)).WithCount()
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,11 +286,11 @@ func TestOrderByAndLimit(t *testing.T) {
 		WithGroupBy(workload.PricingSummary()).
 		WithOrderBy(1). // by count
 		WithLimit(2)
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,13 +306,13 @@ func TestOrderByAndLimit(t *testing.T) {
 
 func TestExecuteErrors(t *testing.T) {
 	df, vo, _ := newEngines(t)
-	if _, err := df.Execute(plan.NewQuery("ghost")); err == nil {
+	if _, err := df.Execute(context.Background(), plan.NewQuery("ghost")); err == nil {
 		t.Error("dataflow query on unknown table succeeded")
 	}
-	if _, err := vo.Execute(plan.NewQuery("ghost")); err == nil {
+	if _, err := vo.Execute(context.Background(), plan.NewQuery("ghost")); err == nil {
 		t.Error("volcano query on unknown table succeeded")
 	}
-	if _, err := df.Execute(plan.NewQuery("")); err == nil {
+	if _, err := df.Execute(context.Background(), plan.NewQuery("")); err == nil {
 		t.Error("invalid query accepted")
 	}
 }
@@ -331,7 +332,7 @@ func TestExecutePlanForcedVariants(t *testing.T) {
 	var rows []int64
 	byVariant := map[string]*Result{}
 	for _, v := range variants {
-		res, err := df.ExecutePlan(v)
+		res, err := df.ExecutePlan(context.Background(), v)
 		if err != nil {
 			t.Fatalf("variant %s: %v", v.Variant, err)
 		}
@@ -363,7 +364,7 @@ func TestSchedulerIntegration(t *testing.T) {
 	q := plan.NewQuery("lineitem").WithFilter(workload.SelectivityFilter(cfg, 0.1)).WithCount()
 	// Sequential executions must admit and release cleanly.
 	for i := 0; i < 3; i++ {
-		if _, err := df.Execute(q); err != nil {
+		if _, err := df.Execute(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -387,7 +388,7 @@ func TestLegacyClusterDataflowDegradesGracefully(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.1)).
 		WithGroupBy(workload.PricingSummary())
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +402,7 @@ func TestLegacyClusterDataflowDegradesGracefully(t *testing.T) {
 
 func TestResultFormat(t *testing.T) {
 	df, _, _ := newEngines(t)
-	res, err := df.Execute(plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary()))
+	res, err := df.Execute(context.Background(), plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,7 +440,7 @@ func TestCountOnlyMinimalShipping(t *testing.T) {
 	// must be tiny regardless of table width.
 	df, _, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithCount()
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +460,7 @@ func TestExpressionPushdownVariantChargesStorage(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.01)).
 		WithProjection(workload.LExtendedPrice)
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -46,6 +47,17 @@ type DataFlowEngine struct {
 	// MaxRecoveryAttempts bounds how many times ExecuteOn will retry or
 	// fail over one query; 0 means DefaultMaxRecoveryAttempts.
 	MaxRecoveryAttempts int
+	// PartialRestart enables stage-level checkpointing: pipelines record
+	// completed-segment watermarks at stage boundaries, and a mid-query
+	// device failure replays only the suffix since the last completed
+	// checkpoint — on a re-hosted device — instead of the whole query.
+	// Disabled automatically when the storage processor holds pushed-down
+	// aggregation state (which no stage snapshot can capture).
+	PartialRestart bool
+	// CheckpointSegments is how many storage segments one checkpoint
+	// epoch spans; 0 means DefaultCheckpointSegments. Smaller epochs
+	// bound replay tighter but cost more marker traffic and snapshots.
+	CheckpointSegments int
 	// Tracing makes every execution record a virtual-time span timeline,
 	// returned in Result.Trace. Off by default: disabled tracing adds
 	// zero allocations to the per-batch hot path.
@@ -59,6 +71,10 @@ type DataFlowEngine struct {
 // DefaultMaxRecoveryAttempts bounds per-query recovery: enough to lose
 // every accelerator tier on the path and still land on the CPU plan.
 const DefaultMaxRecoveryAttempts = 5
+
+// DefaultCheckpointSegments spans one checkpoint epoch over this many
+// storage segments when CheckpointSegments is unset.
+const DefaultCheckpointSegments = 4
 
 // NewDataFlowEngine wires an engine onto a cluster.
 func NewDataFlowEngine(c *fabric.Cluster) *DataFlowEngine {
@@ -161,8 +177,8 @@ func (e *DataFlowEngine) PlanExcluding(q *plan.Query, node int, exclude map[stri
 }
 
 // Execute plans, schedules and runs a query on compute node 0.
-func (e *DataFlowEngine) Execute(q *plan.Query) (*Result, error) {
-	return e.ExecuteOn(q, 0)
+func (e *DataFlowEngine) Execute(ctx context.Context, q *plan.Query) (*Result, error) {
+	return e.ExecuteOn(ctx, q, 0)
 }
 
 // ExecuteOn plans, schedules and runs a query on the given compute node,
@@ -172,8 +188,18 @@ func (e *DataFlowEngine) Execute(q *plan.Query) (*Result, error) {
 // re-admitted and re-executed. Transient faults (link flaps, exhausted
 // storage retry budgets) re-execute on the same placements. The work an
 // abandoned attempt burned is measured by meter deltas and reported as
-// RecoveryBytes/RecoveryTime.
-func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
+// RecoveryBytes/RecoveryTime. With PartialRestart set, a device failure
+// first tries a cheaper stage-level restart inside the attempt (see
+// executePlan); only when that is impossible does the whole-query
+// failover here take over.
+//
+// ctx bounds the whole lifecycle: admission (a queued query sheds with
+// sched.ErrOverloaded when its deadline cannot be met), scan, stage
+// execution, and recovery. A deadline or cancellation mid-flight
+// releases the admission, unwinds every goroutine and credit, and
+// surfaces as ErrDeadlineExceeded or ErrCancelled.
+func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	maxAttempts := e.MaxRecoveryAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = DefaultMaxRecoveryAttempts
@@ -193,31 +219,39 @@ func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
 	}
 
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, lifecycleError(err)
+		}
 		variants, err := e.PlanExcluding(q, node, exclude)
 		if err != nil {
 			return nil, err
 		}
-		adm, err := e.Scheduler.AdmitTraced(variants, tr)
+		adm, err := e.Scheduler.AdmitTraced(ctx, variants, tr)
 		if err != nil {
-			return nil, err
+			return nil, lifecycleError(err)
 		}
 		tr.ClearSpans()
 		before := e.snapshotMeters()
 		res, err := func() (*Result, error) {
 			defer e.Scheduler.Release(adm)
-			return e.executePlan(adm.Plan, tr)
+			return e.executePlan(ctx, adm.Plan, tr)
 		}()
 		if err == nil {
 			res.Stats.Retries += queryRetries
 			res.Stats.Failovers = failovers
-			res.Stats.DegradedPlacement = failovers > 0
+			res.Stats.DegradedPlacement = failovers > 0 || res.Stats.PartialRestarts > 0
 			res.Stats.RecoveryBytes += wasteBytes
-			res.Stats.RecoveryTime = wasteTime
+			res.Stats.RecoveryTime += wasteTime
 			return res, nil
 		}
 		wb, wt := e.meterDelta(before)
 		wasteBytes += wb
 		wasteTime += wt
+		if lerr := lifecycleError(err); lerr != err || ctx.Err() != nil {
+			// The query was cancelled or timed out: recovery would only
+			// burn more work the caller no longer wants.
+			return nil, lifecycleError(errorOrCtx(lerr, ctx))
+		}
 		if attempt+1 >= maxAttempts {
 			return nil, err
 		}
@@ -236,6 +270,18 @@ func (e *DataFlowEngine) ExecuteOn(q *plan.Query, node int) (*Result, error) {
 			return nil, err
 		}
 	}
+}
+
+// errorOrCtx prefers err, falling back to the context's own error when
+// the run failed for an unrelated reason while ctx was already dead.
+func errorOrCtx(err error, ctx context.Context) error {
+	if errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrCancelled) {
+		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // meterDelta sums the link payload and bottleneck busy time accumulated
@@ -262,16 +308,32 @@ func (e *DataFlowEngine) meterDelta(before map[meterKey]sim.Snapshot) (sim.Bytes
 // ExecutePlan runs one specific physical plan variant, bypassing the
 // scheduler. Experiments use it to force variants. Tracing follows
 // e.Tracing, with a fresh trace per call.
-func (e *DataFlowEngine) ExecutePlan(ph *plan.Physical) (*Result, error) {
+func (e *DataFlowEngine) ExecutePlan(ctx context.Context, ph *plan.Physical) (*Result, error) {
 	var tr *obs.Trace
 	if e.Tracing {
 		tr = obs.New()
 	}
-	return e.executePlan(ph, tr)
+	res, err := e.executePlan(ctx, ph, tr)
+	if err != nil {
+		return nil, lifecycleError(err)
+	}
+	return res, nil
 }
 
 // executePlan runs one physical plan, recording onto tr when non-nil.
-func (e *DataFlowEngine) executePlan(ph *plan.Physical, tr *obs.Trace) (*Result, error) {
+//
+// With PartialRestart enabled (and no aggregation state pushed into the
+// storage processor), the run checkpoints at segment-aligned epoch
+// markers. A device failure mid-stream then restarts only the pipeline —
+// stages rebuilt, snapshots restored, the scan resumed at the last
+// completed epoch's watermark, the failed device's stages re-hosted on
+// the CPU — instead of abandoning the query. Work done since the last
+// completed checkpoint is the only replayed work; it is metered and
+// reported as ReplayedBytes (and folded into RecoveryBytes/Time). A
+// failure with no completed checkpoint, or one the CPU cannot host,
+// falls through to the caller's whole-query failover.
+func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr *obs.Trace) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	q := ph.Query
 	numFields, tableSchema, err := e.tableSchema(q.Table)
 	if err != nil {
@@ -285,9 +347,17 @@ func (e *DataFlowEngine) executePlan(ph *plan.Physical, tr *obs.Trace) (*Result,
 		return nil, err
 	}
 
-	stages, paths, err := e.buildStages(ph, spec, emitsPartials, tableSchema)
-	if err != nil {
-		return nil, err
+	// Pushed-down aggregation accumulates inside the storage processor,
+	// out of reach of stage snapshots — no consistent cut exists, so such
+	// plans recover by whole-query failover only.
+	ckptEnabled := e.PartialRestart && !emitsPartials
+	ckptEvery := e.CheckpointSegments
+	if ckptEvery <= 0 {
+		ckptEvery = DefaultCheckpointSegments
+	}
+	maxAttempts := e.MaxRecoveryAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxRecoveryAttempts
 	}
 
 	// The storage scan and the pipeline source share one virtual clock:
@@ -301,42 +371,203 @@ func (e *DataFlowEngine) executePlan(ph *plan.Physical, tr *obs.Trace) (*Result,
 		spec.Clock = clock
 	}
 
-	var scanStats storage.ScanStats
-	var maxBatch sim.Bytes
-	pipe := &flow.Pipeline{
-		Name: fmt.Sprintf("q-%s", ph.Variant),
-		Source: func(emit flow.Emit) error {
-			st, err := e.Storage.Scan(q.Table, spec, func(b *columnar.Batch) error {
-				if n := sim.Bytes(b.ByteSize()); n > maxBatch {
-					maxBatch = n
-				}
-				return emit(b)
-			})
-			scanStats = st
-			return err
-		},
-		Stages:       stages,
-		Paths:        paths,
-		StageTimeout: e.StageTimeout,
-		Faults:       e.Faults,
-		Trace:        tr,
-		Clock:        clock,
-		SourceTrack:  e.Storage.Proc().Name,
-	}
-
 	var result Result
-	flowRes, err := pipe.Run(func(b *columnar.Batch) error {
-		result.Batches = append(result.Batches, b)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	var totalScan storage.ScanStats
+	var maxBatch sim.Bytes
+	var flowRes flow.Result
+
+	// Cross-attempt restart state.
+	var restore *flow.Restore // snapshots to reinstall, nil on first attempt
+	startSeg := 0             // scan watermark to resume from
+	epoch := 0                // monotonically increasing across attempts
+	restarts := 0
+	checkpoints := 0
+	var replayed sim.Bytes
+	var replayTime sim.VTime
+	offline := make(map[string]bool) // devices whose stages were re-hosted
+
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		stages, paths, err := e.buildStages(ph, spec, emitsPartials, tableSchema)
+		if err != nil {
+			return nil, err
+		}
+		if len(offline) > 0 {
+			stages, paths, err = e.rehostStages(ph, stages, paths, offline)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		var ck *flow.Checkpointer
+		attemptSpec := spec
+		attemptSpec.StartSegment = startSeg
+		// Meters at the last completed checkpoint: everything charged
+		// after this point is lost — and replayed — if the attempt dies.
+		// Each epoch's meters are snapshotted at Mark time on the source
+		// goroutine (an exact stream-positional cut: segments past the
+		// watermark have not been charged yet) and promoted when the
+		// epoch completes at the sink, so the waste accounting cannot be
+		// skewed by how far the source ran ahead of the marker.
+		lastCkpt := e.snapshotMeters()
+		if ckptEnabled {
+			ck = flow.NewCheckpointer()
+			var snapMu sync.Mutex
+			markSnaps := make(map[int]map[meterKey]sim.Snapshot)
+			ck.OnComplete = func(ep int) {
+				snapMu.Lock()
+				if s, ok := markSnaps[ep]; ok {
+					lastCkpt = s
+					delete(markSnaps, ep)
+				}
+				snapMu.Unlock()
+			}
+			segs := 0
+			attemptSpec.Progress = func(next int) error {
+				segs++
+				if segs >= ckptEvery {
+					segs = 0
+					epoch++
+					snapMu.Lock()
+					markSnaps[epoch] = e.snapshotMeters()
+					snapMu.Unlock()
+					return ck.Mark(epoch, next)
+				}
+				return nil
+			}
+		}
+
+		var scanStats storage.ScanStats
+		pipe := &flow.Pipeline{
+			Name: fmt.Sprintf("q-%s", ph.Variant),
+			Source: func(emit flow.Emit) error {
+				st, err := e.Storage.Scan(ctx, q.Table, attemptSpec, func(b *columnar.Batch) error {
+					if n := sim.Bytes(b.ByteSize()); n > maxBatch {
+						maxBatch = n
+					}
+					return emit(b)
+				})
+				scanStats = st
+				return err
+			},
+			Stages:       stages,
+			Paths:        paths,
+			StageTimeout: e.StageTimeout,
+			Faults:       e.Faults,
+			Trace:        tr,
+			Clock:        clock,
+			SourceTrack:  e.Storage.Proc().Name,
+			Ckpt:         ck,
+			Restore:      restore,
+		}
+
+		attemptStart := len(result.Batches)
+		res, runErr := pipe.Run(ctx, func(b *columnar.Batch) error {
+			result.Batches = append(result.Batches, b)
+			return nil
+		})
+		addScanStats(&totalScan, scanStats)
+		checkpoints += ck.Completed()
+
+		if runErr == nil {
+			flowRes = res
+			break
+		}
+
+		// Decide whether a stage-level restart is possible; otherwise the
+		// caller's whole-query recovery takes over.
+		var se *flow.StageError
+		ep, haveCkpt := ck.Latest()
+		switch {
+		case ctx.Err() != nil:
+			return nil, runErr
+		case attempt+1 >= maxAttempts:
+			return nil, runErr
+		case !errors.As(runErr, &se) || se.Device == "" || !haveCkpt:
+			return nil, runErr
+		case se.Device == ph.Path.Sites[0].Device.Name:
+			// The source's own host died; there is nothing to re-host it on.
+			return nil, runErr
+		}
+
+		// Everything charged since the last completed checkpoint is lost
+		// work this restart will redo.
+		wb, wt := e.meterDelta(lastCkpt)
+		replayed += wb
+		replayTime += wt
+
+		// Roll the delivered output back to the checkpoint's sink
+		// watermark and arm the next attempt.
+		result.Batches = result.Batches[:attemptStart+int(ck.SinkBatches(ep))]
+		restore = &flow.Restore{Epoch: ep, Snaps: ck.Snaps(ep)}
+		if seg, ok := ck.Resume(ep).(int); ok {
+			startSeg = seg
+		}
+		offline[se.Device] = true
+		restarts++
+		e.Scheduler.NoteFailover(se.Device)
+		tr.AddEvent(obs.Event{Name: "partial-restart", Track: se.Device, At: clock.Now(),
+			Detail: fmt.Sprintf("stage %s failed (%v); replaying from epoch %d (segment %d), re-hosting %s stages on %s",
+				se.Stage, se.Err, ep, startSeg, se.Device, ph.Path.CPU().Name)})
+		if tr.Enabled() {
+			at := clock.Now()
+			tr.AddSpan(obs.Span{Name: fmt.Sprintf("restart@epoch%d", ep), Track: ph.Path.CPU().Name,
+				Kind: obs.SpanSetup, Start: at, End: at, Seq: int64(ep), Bytes: wb})
+		}
 	}
 
-	result.Stats = e.buildStats(ph, before, flowRes, scanStats, maxBatch, &result)
+	result.Stats = e.buildStats(ph, before, flowRes, totalScan, maxBatch, &result)
+	result.Stats.PartialRestarts = restarts
+	result.Stats.Checkpoints = checkpoints
+	result.Stats.ReplayedBytes = replayed
+	result.Stats.RecoveryBytes += replayed
+	result.Stats.RecoveryTime += replayTime
 	result.Trace = tr
 	sampleMeterSeries(e.Cluster, tr, before)
 	return &result, nil
+}
+
+// rehostStages substitutes the path CPU for every stage hosted on a
+// device in offline, re-deriving inter-stage link paths. A stage whose
+// operator the CPU cannot run fails the re-host (the caller then falls
+// back to whole-query failover, which re-plans from scratch).
+func (e *DataFlowEngine) rehostStages(ph *plan.Physical, stages []flow.Placed, paths [][]*fabric.Link, offline map[string]bool) ([]flow.Placed, [][]*fabric.Link, error) {
+	cpu := ph.Path.CPU()
+	prev := ph.Path.Sites[0].Device
+	out := make([]flow.Placed, len(stages))
+	outPaths := make([][]*fabric.Link, len(stages))
+	for i, st := range stages {
+		if offline[st.Device.Name] {
+			if !cpu.Can(st.Op) {
+				return nil, nil, fmt.Errorf("core: cannot re-host %s stage %q on %s", st.Op, st.Stage.Name(), cpu.Name)
+			}
+			st.Device = cpu
+		}
+		links, err := e.Cluster.Path(prev.Name, st.Device.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = st
+		outPaths[i] = links
+		prev = st.Device
+	}
+	return out, outPaths, nil
+}
+
+// addScanStats folds one attempt's scan stats into the query total.
+func addScanStats(dst *storage.ScanStats, s storage.ScanStats) {
+	dst.SegmentsTotal += s.SegmentsTotal
+	dst.SegmentsPruned += s.SegmentsPruned
+	dst.MediaBytes += s.MediaBytes
+	dst.ShippedBytes += s.ShippedBytes
+	dst.ShippedRows += s.ShippedRows
+	dst.ProcTime += s.ProcTime
+	dst.Retries += s.Retries
+	dst.ReplicaFallbacks += s.ReplicaFallbacks
+	dst.RetryBytes += s.RetryBytes
 }
 
 func (e *DataFlowEngine) tableSchema(name string) (int, *columnar.Schema, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/columnar"
@@ -19,7 +20,8 @@ import (
 // otherwise — each node aggregates its disjoint share of the groups, and
 // the per-node results gather on node 0. Because partitioning is by
 // group key, no cross-node merge is needed and results are exact.
-func (e *DataFlowEngine) ExecuteGroupByDistributed(q *plan.Query, nodes int) (*Result, error) {
+func (e *DataFlowEngine) ExecuteGroupByDistributed(ctx context.Context, q *plan.Query, nodes int) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,12 +94,12 @@ func (e *DataFlowEngine) ExecuteGroupByDistributed(q *plan.Query, nodes int) (*R
 	}
 
 	scatter.ChargeSetup()
-	_, err = e.Storage.Scan(q.Table, spec, func(b *columnar.Batch) error {
+	_, err = e.Storage.Scan(ctx, q.Table, spec, func(b *columnar.Batch) error {
 		scatter.Charge(fabric.OpPartition, sim.Bytes(b.ByteSize()))
 		return ex.Process(b, nil)
 	})
 	if err != nil {
-		return nil, err
+		return nil, lifecycleError(err)
 	}
 	if err := ex.Flush(nil); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fabric"
@@ -16,11 +17,11 @@ func TestDistributedGroupByMatchesSingleNode(t *testing.T) {
 			WithFilter(workload.SelectivityFilter(cfg, 0.3)).
 			WithGroupBy(workload.PartVolume()),
 	} {
-		single, err := df.Execute(q)
+		single, err := df.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dist, err := df.ExecuteGroupByDistributed(q, 2)
+		dist, err := df.ExecuteGroupByDistributed(context.Background(), q, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +32,7 @@ func TestDistributedGroupByMatchesSingleNode(t *testing.T) {
 func TestDistributedGroupBySpreadsWork(t *testing.T) {
 	df, _, _ := newEngines(t)
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PartVolume())
-	res, err := df.ExecuteGroupByDistributed(q, 2)
+	res, err := df.ExecuteGroupByDistributed(context.Background(), q, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestDistributedGroupBySpreadsWork(t *testing.T) {
 
 func TestDistributedGroupByValidation(t *testing.T) {
 	df, _, _ := newEngines(t)
-	if _, err := df.ExecuteGroupByDistributed(plan.NewQuery("lineitem").WithCount(), 2); err == nil {
+	if _, err := df.ExecuteGroupByDistributed(context.Background(), plan.NewQuery("lineitem").WithCount(), 2); err == nil {
 		t.Error("count-only accepted")
 	}
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
-	if _, err := df.ExecuteGroupByDistributed(q, 99); err == nil {
+	if _, err := df.ExecuteGroupByDistributed(context.Background(), q, 99); err == nil {
 		t.Error("too many nodes accepted")
 	}
-	if _, err := df.ExecuteGroupByDistributed(plan.NewQuery("ghost").WithGroupBy(workload.PricingSummary()), 2); err == nil {
+	if _, err := df.ExecuteGroupByDistributed(context.Background(), plan.NewQuery("ghost").WithGroupBy(workload.PricingSummary()), 2); err == nil {
 		t.Error("unknown table accepted")
 	}
 }

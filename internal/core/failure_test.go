@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestDataFlowDetectsCorruptSegment(t *testing.T) {
 	df.Storage.Store().Put(key, mangled)
 
 	q := plan.NewQuery("lineitem").WithGroupBy(workload.PricingSummary())
-	_, err = df.Execute(q)
+	_, err = df.Execute(context.Background(), q)
 	if err == nil {
 		t.Fatal("corrupted segment produced a result")
 	}
@@ -55,7 +56,7 @@ func TestVolcanoDetectsCorruptSegment(t *testing.T) {
 	mangled[len(mangled)-3] ^= 0x01
 	vo.Storage.Store().Put(key, mangled)
 
-	if _, err := vo.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+	if _, err := vo.Execute(context.Background(), plan.NewQuery("lineitem").WithCount()); err == nil {
 		t.Fatal("volcano returned a count from a corrupted segment")
 	}
 }
@@ -67,7 +68,7 @@ func TestDataFlowDetectsMissingObject(t *testing.T) {
 		t.Fatal(err)
 	}
 	df.Storage.Store().Delete(meta.SegmentKeys[0])
-	if _, err := df.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+	if _, err := df.Execute(context.Background(), plan.NewQuery("lineitem").WithCount()); err == nil {
 		t.Fatal("missing segment produced a result")
 	}
 }
@@ -97,7 +98,7 @@ func TestConcurrentExecutes(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
 				q := queries[(w+i)%len(queries)]
-				res, err := df.ExecuteOn(q, w%2)
+				res, err := df.ExecuteOn(context.Background(), q, w%2)
 				if err != nil {
 					errs <- err
 					return
@@ -121,7 +122,7 @@ func TestConcurrentExecutes(t *testing.T) {
 	}
 	df.Scheduler.ClearLimits()
 	// A follow-up query still answers correctly.
-	res, err := df.Execute(plan.NewQuery("lineitem").WithCount())
+	res, err := df.Execute(context.Background(), plan.NewQuery("lineitem").WithCount())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestVolcanoPoolTooSmallForSegment(t *testing.T) {
 	if err := vo.Load("lineitem", workload.GenLineitem(workload.DefaultLineitemConfig(5000))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := vo.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+	if _, err := vo.Execute(context.Background(), plan.NewQuery("lineitem").WithCount()); err == nil {
 		t.Fatal("4KB pool executed a scan over larger segments")
 	}
 }

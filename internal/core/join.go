@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bufferpool"
@@ -27,7 +28,8 @@ type JoinQuery struct {
 // and scattered by key — on the storage NIC when it is smart, otherwise
 // on compute node 0's CPU — to per-node hash joins; results gather on
 // node 0.
-func (e *DataFlowEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
+func (e *DataFlowEngine) ExecuteJoin(ctx context.Context, jq JoinQuery) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	nodes := jq.Nodes
 	if nodes <= 0 {
 		nodes = e.Cluster.Cfg.ComputeNodes
@@ -37,13 +39,16 @@ func (e *DataFlowEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
 	}
 	before := e.snapshotMeters()
 
-	build, _, err := e.materialize(jq.Build)
+	build, _, err := e.materialize(ctx, jq.Build)
 	if err != nil {
-		return nil, err
+		return nil, lifecycleError(err)
 	}
-	probe, _, err := e.materialize(jq.Probe)
+	probe, _, err := e.materialize(ctx, jq.Probe)
 	if err != nil {
-		return nil, err
+		return nil, lifecycleError(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, lifecycleError(err)
 	}
 
 	// Scatter point: the storage NIC if it can partition, else the
@@ -99,9 +104,9 @@ func (e *DataFlowEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
 // materialize scans a full table into batches, charging the storage
 // side (media read + decode) but not shipping anywhere yet — the
 // exchange does the shipping.
-func (e *DataFlowEngine) materialize(table string) ([]*columnar.Batch, storage.ScanStats, error) {
+func (e *DataFlowEngine) materialize(ctx context.Context, table string) ([]*columnar.Batch, storage.ScanStats, error) {
 	var out []*columnar.Batch
-	st, err := e.Storage.Scan(table, storage.ScanSpec{}, func(b *columnar.Batch) error {
+	st, err := e.Storage.Scan(ctx, table, storage.ScanSpec{}, func(b *columnar.Batch) error {
 		out = append(out, b)
 		return nil
 	})
@@ -155,13 +160,14 @@ func (e *DataFlowEngine) joinStats(before map[meterKey]sim.Snapshot, res *Result
 // ExecuteJoin on the Volcano baseline: both sides are pulled through the
 // buffer pool to compute node 0 and joined there by the blocking
 // iterator — no exchange, no other nodes, all bytes to one CPU.
-func (e *VolcanoEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
+func (e *VolcanoEngine) ExecuteJoin(ctx context.Context, jq JoinQuery) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	before := e.snapshotMeters()
-	buildIt, err := e.tableIterator(jq.Build)
+	buildIt, err := e.tableIterator(ctx, jq.Build)
 	if err != nil {
 		return nil, err
 	}
-	probeIt, err := e.tableIterator(jq.Probe)
+	probeIt, err := e.tableIterator(ctx, jq.Probe)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +180,7 @@ func (e *VolcanoEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
 	}
 	batches, err := exec.Drain(it)
 	if err != nil {
-		return nil, err
+		return nil, lifecycleError(err)
 	}
 	res := &Result{Batches: batches}
 	res.Stats = e.buildStats(before, res)
@@ -183,7 +189,7 @@ func (e *VolcanoEngine) ExecuteJoin(jq JoinQuery) (*Result, error) {
 }
 
 // tableIterator builds the baseline's buffer-pool-backed scan.
-func (e *VolcanoEngine) tableIterator(table string) (exec.Iterator, error) {
+func (e *VolcanoEngine) tableIterator(ctx context.Context, table string) (exec.Iterator, error) {
 	meta, err := e.Storage.Table(table)
 	if err != nil {
 		return nil, err
@@ -191,12 +197,15 @@ func (e *VolcanoEngine) tableIterator(table string) (exec.Iterator, error) {
 	segIdx := 0
 	dramToCPU := e.Cluster.LinkBetween(e.dram, e.cpu.Name)
 	return exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if segIdx >= len(meta.SegmentKeys) {
 			return nil, nil
 		}
 		key := meta.SegmentKeys[segIdx]
 		segIdx++
-		page, err := e.Pool.Get(bufferpool.PageID(key))
+		page, err := e.Pool.Get(ctx, bufferpool.PageID(key))
 		if err != nil {
 			return nil, err
 		}

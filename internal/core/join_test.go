@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -60,11 +61,11 @@ func TestDistributedJoinMatchesVolcano(t *testing.T) {
 		Probe: "lineitem", Build: "orders",
 		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
 	}
-	dfRes, err := df.ExecuteJoin(jq)
+	dfRes, err := df.ExecuteJoin(context.Background(), jq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.ExecuteJoin(jq)
+	voRes, err := vo.ExecuteJoin(context.Background(), jq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestDistributedJoinStats(t *testing.T) {
 		Probe: "lineitem", Build: "orders",
 		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
 	}
-	dfRes, err := df.ExecuteJoin(jq)
+	dfRes, err := df.ExecuteJoin(context.Background(), jq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	voRes, err := vo.ExecuteJoin(jq)
+	voRes, err := vo.ExecuteJoin(context.Background(), jq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +125,13 @@ func TestDistributedJoinStats(t *testing.T) {
 
 func TestJoinValidation(t *testing.T) {
 	df, vo := setupJoinEngines(t, 100, 500)
-	if _, err := df.ExecuteJoin(JoinQuery{Probe: "ghost", Build: "orders"}); err == nil {
+	if _, err := df.ExecuteJoin(context.Background(), JoinQuery{Probe: "ghost", Build: "orders"}); err == nil {
 		t.Error("join with unknown probe succeeded")
 	}
-	if _, err := vo.ExecuteJoin(JoinQuery{Probe: "lineitem", Build: "ghost"}); err == nil {
+	if _, err := vo.ExecuteJoin(context.Background(), JoinQuery{Probe: "lineitem", Build: "ghost"}); err == nil {
 		t.Error("volcano join with unknown build succeeded")
 	}
-	if _, err := df.ExecuteJoin(JoinQuery{Probe: "lineitem", Build: "orders", Nodes: 99}); err == nil {
+	if _, err := df.ExecuteJoin(context.Background(), JoinQuery{Probe: "lineitem", Build: "orders", Nodes: 99}); err == nil {
 		t.Error("join with too many nodes succeeded")
 	}
 }
@@ -149,7 +150,7 @@ func TestJoinOnLegacyClusterUsesCPUScatter(t *testing.T) {
 	must(df.CreateTable("orders", workload.OrdersSchema()))
 	must(df.Load("lineitem", workload.GenLineitem(lcfg)))
 	must(df.Load("orders", workload.GenOrders(500, 9)))
-	res, err := df.ExecuteJoin(JoinQuery{
+	res, err := df.ExecuteJoin(context.Background(), JoinQuery{
 		Probe: "lineitem", Build: "orders",
 		ProbeKey: workload.LOrderKey, BuildKey: workload.OOrderKey,
 	})

@@ -1,0 +1,48 @@
+// Query lifecycle: typed errors and context mapping.
+//
+// Every exported entry point (Execute, ExecuteOn, ExecutePlan,
+// ExecuteJoin, ExecuteGroupByDistributed, and the Volcano equivalents)
+// takes a context.Context as its first parameter. Deadlines and
+// cancellation propagate through the flow runtime's done channel into
+// every stage goroutine, port send, storage scan segment, and fabric
+// transfer, so an abandoned query always unwinds: goroutines exit,
+// credits drain, and the scheduler admission is released.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlineExceeded reports that a query's context deadline expired
+// mid-flight. The query's partial work is discarded; recovery meters
+// still record what it burned.
+var ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
+
+// ErrCancelled reports that a query's context was cancelled mid-flight.
+var ErrCancelled = errors.New("core: query cancelled")
+
+// lifecycleError maps a context error (possibly wrapped inside err) to
+// the typed lifecycle error, keeping the original chain for %w
+// inspection. Errors unrelated to the context pass through unchanged.
+func lifecycleError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return err
+}
+
+// ctxOrBackground normalizes a nil context so internal plumbing can
+// select on ctx.Done() unconditionally.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -128,6 +128,17 @@ type ExecStats struct {
 	RecoveryBytes sim.Bytes
 	// RecoveryTime is the virtual busy time burned by abandoned attempts.
 	RecoveryTime sim.VTime
+	// PartialRestarts counts stage-level restarts that replayed only the
+	// suffix since the last completed checkpoint instead of the whole
+	// query.
+	PartialRestarts int
+	// Checkpoints counts completed checkpoint epochs (markers that fell
+	// off the last stage with every prior batch durable at the sink).
+	Checkpoints int
+	// ReplayedBytes is the link payload replayed by partial restarts:
+	// work charged after the last completed checkpoint of a failed
+	// attempt. Always a subset of RecoveryBytes.
+	ReplayedBytes sim.Bytes
 }
 
 // String summarizes the stats on a few lines.
@@ -139,10 +150,10 @@ func (s ExecStats) String() string {
 	}
 	fmt.Fprintf(&b, ": rows=%d moved=%s cpu=%s simtime=%s peakmem=%s\n",
 		s.ResultRows, s.MovedBytes, s.CPUBytes, s.SimTime, s.PeakMemory)
-	if s.Retries > 0 || s.ReplicaFallbacks > 0 || s.Failovers > 0 {
-		fmt.Fprintf(&b, "  recovery: retries=%d fallbacks=%d failovers=%d degraded=%v waste=%s/%s\n",
-			s.Retries, s.ReplicaFallbacks, s.Failovers, s.DegradedPlacement,
-			s.RecoveryBytes, s.RecoveryTime)
+	if s.Retries > 0 || s.ReplicaFallbacks > 0 || s.Failovers > 0 || s.PartialRestarts > 0 {
+		fmt.Fprintf(&b, "  recovery: retries=%d fallbacks=%d failovers=%d restarts=%d degraded=%v waste=%s/%s replayed=%s\n",
+			s.Retries, s.ReplicaFallbacks, s.Failovers, s.PartialRestarts, s.DegradedPlacement,
+			s.RecoveryBytes, s.RecoveryTime, s.ReplayedBytes)
 	}
 	names := make([]string, 0, len(s.LinkBytes))
 	for n := range s.LinkBytes {

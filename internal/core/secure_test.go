@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fabric"
@@ -34,11 +35,11 @@ func TestSecureWireSameAnswers(t *testing.T) {
 		plan.NewQuery("lineitem").WithCount(),
 	}
 	for _, q := range queries {
-		pr, err := plain.Execute(q)
+		pr, err := plain.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s plain: %v", q, err)
 		}
-		sr, err := secure.Execute(q)
+		sr, err := secure.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s secure: %v", q, err)
 		}
@@ -70,11 +71,11 @@ func TestSecureWireCarriesEncodedBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := plan.NewQuery("lineitem") // full scan: lots of wire traffic
-	sr, err := e.Execute(q)
+	sr, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := plainE.Execute(q)
+	pr, err := plainE.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSecureWireNeedsSmartNICs(t *testing.T) {
 	if err := e.Load("lineitem", workload.GenLineitem(workload.DefaultLineitemConfig(1000))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Execute(plan.NewQuery("lineitem").WithCount()); err == nil {
+	if _, err := e.Execute(context.Background(), plan.NewQuery("lineitem").WithCount()); err == nil {
 		t.Error("SecureWire on dumb NICs succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sqlparse"
@@ -22,7 +23,7 @@ func TestSQLEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%q: %v", sql, err)
 		}
-		dfRes, err := df.Execute(q)
+		dfRes, err := df.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%q dataflow: %v", sql, err)
 		}
@@ -32,7 +33,7 @@ func TestSQLEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%q volcano parse: %v", sql, err)
 		}
-		voRes, err := vo.Execute(qv)
+		voRes, err := vo.Execute(context.Background(), qv)
 		if err != nil {
 			t.Fatalf("%q volcano: %v", sql, err)
 		}
@@ -65,7 +66,7 @@ func TestSQLPushdownStillHappens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestDataFlowTraceShowsStageOverlap(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.5)).
 		WithGroupBy(workload.PricingSummary())
-	res, err := df.Execute(q)
+	res, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestVolcanoTraceIsSerial(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.5)).
 		WithGroupBy(workload.PricingSummary())
-	res, err := vo.Execute(q)
+	res, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestTraceDeterministic(t *testing.T) {
 		q := plan.NewQuery("lineitem").
 			WithFilter(workload.SelectivityFilter(cfg, 0.5)).
 			WithGroupBy(workload.PricingSummary())
-		res, err := df.Execute(q)
+		res, err := df.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestTraceDeterministic(t *testing.T) {
 
 		_, vo, _ := newEngines(t)
 		vo.Tracing = true
-		vres, err := vo.Execute(q)
+		vres, err := vo.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,14 +158,14 @@ func TestTracingOffReturnsNilTrace(t *testing.T) {
 	q := plan.NewQuery("lineitem").
 		WithFilter(workload.SelectivityFilter(cfg, 0.05)).
 		WithProjection(workload.LOrderKey)
-	dres, err := df.Execute(q)
+	dres, err := df.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dres.Trace != nil {
 		t.Error("dataflow Result.Trace non-nil with Tracing=false")
 	}
-	vres, err := vo.Execute(q)
+	vres, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -69,7 +70,10 @@ func NewVolcanoEngine(c *fabric.Cluster, poolBytes sim.Bytes) *VolcanoEngine {
 // fetchPage loads one segment blob from disaggregated storage into the
 // compute node's memory, charging the media and the whole network path —
 // this is the legacy data path of Figure 1 stretched across the cloud.
-func (e *VolcanoEngine) fetchPage(id bufferpool.PageID) ([]byte, error) {
+func (e *VolcanoEngine) fetchPage(ctx context.Context, id bufferpool.PageID) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	blob, err := e.Storage.Store().Get(string(id))
 	if err != nil {
 		return nil, err
@@ -97,7 +101,7 @@ func (e *VolcanoEngine) fetchPage(id bufferpool.PageID) ([]byte, error) {
 		for _, l := range path {
 			e.span("xfer", l.Name, obs.SpanTransfer, l.Transfer(n), n)
 		}
-	} else if _, err := e.Cluster.Transfer(fabric.DevStorageMed, e.dram, n); err != nil {
+	} else if _, err := e.Cluster.Transfer(ctx, fabric.DevStorageMed, e.dram, n); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
@@ -184,8 +188,12 @@ func (it *chargeIter) Next() (*columnar.Batch, error) {
 	return b, nil
 }
 
-// Execute runs a query through the pull-based iterator tree.
-func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
+// Execute runs a query through the pull-based iterator tree. ctx bounds
+// the execution: it is consulted before each buffer-pool fetch and each
+// pulled segment, so a deadline or cancellation stops the pull loop and
+// surfaces as ErrDeadlineExceeded or ErrCancelled.
+func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -213,12 +221,15 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 	var maxDecoded sim.Bytes
 	dramToCPU := e.Cluster.LinkBetween(e.dram, e.cpu.Name)
 	var it exec.Iterator = exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if segIdx >= len(meta.SegmentKeys) {
 			return nil, nil
 		}
 		key := meta.SegmentKeys[segIdx]
 		segIdx++
-		page, err := e.Pool.Get(bufferpool.PageID(key))
+		page, err := e.Pool.Get(ctx, bufferpool.PageID(key))
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +285,7 @@ func (e *VolcanoEngine) Execute(q *plan.Query) (*Result, error) {
 
 	batches, err := exec.Drain(it)
 	if err != nil {
-		return nil, err
+		return nil, lifecycleError(err)
 	}
 	res := &Result{Batches: batches, Trace: tr}
 	sampleMeterSeries(e.Cluster, tr, before)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -302,7 +303,7 @@ func TestVolcanoPipelineEquivalence(t *testing.T) {
 		},
 	}
 	var pushOut []*columnar.Batch
-	if _, err := p.Run(func(b *columnar.Batch) error { pushOut = append(pushOut, b); return nil }); err != nil {
+	if _, err := p.Run(context.Background(), func(b *columnar.Batch) error { pushOut = append(pushOut, b); return nil }); err != nil {
 		t.Fatal(err)
 	}
 

@@ -92,6 +92,14 @@ func (s *EncryptStage) Process(b *columnar.Batch, emit flow.Emit) error {
 // Flush implements flow.Stage.
 func (s *EncryptStage) Flush(flow.Emit) error { return nil }
 
+// SnapshotState implements flow.Snapshotter: the stream sequence number
+// must survive a partial restart or replayed batches would reuse
+// nonces / break the receiver's sequence check.
+func (s *EncryptStage) SnapshotState() any { return s.seq }
+
+// RestoreState implements flow.Snapshotter.
+func (s *EncryptStage) RestoreState(state any) { s.seq = state.(uint64) }
+
 // DecryptStage authenticates and opens sealed batches.
 type DecryptStage struct {
 	Key *encoding.StreamKey

@@ -121,6 +121,16 @@ func (s *PreAggStage) Flush(emit flow.Emit) error {
 	return nil
 }
 
+// SnapshotState implements flow.Snapshotter: a deep copy of the group
+// state at the checkpoint marker.
+func (s *PreAggStage) SnapshotState() any { return s.Agg.Clone() }
+
+// RestoreState implements flow.Snapshotter. The snapshot is cloned
+// again, so one epoch can seed several restart attempts.
+func (s *PreAggStage) RestoreState(state any) {
+	s.Agg = state.(*expr.PartialAggregator).Clone()
+}
+
 // FinalAggStage is the terminal aggregation on the compute node; it
 // consumes raw rows or partials and emits one result batch at flush.
 type FinalAggStage struct {
@@ -146,6 +156,14 @@ func (s *FinalAggStage) Flush(emit flow.Emit) error {
 	return emit(s.Agg.Result())
 }
 
+// SnapshotState implements flow.Snapshotter.
+func (s *FinalAggStage) SnapshotState() any { return s.Agg.Clone() }
+
+// RestoreState implements flow.Snapshotter.
+func (s *FinalAggStage) RestoreState(state any) {
+	s.Agg = state.(*expr.FinalAggregator).Clone()
+}
+
 // CountStage counts rows and discards them, emitting a single-row result
 // at flush — the query the paper says a NIC can complete "without even
 // involving the CPU or transferring data to host memory" (Section 4.4).
@@ -167,6 +185,12 @@ func (s *CountStage) Flush(emit flow.Emit) error {
 	schema := columnar.NewSchema(columnar.Field{Name: "count", Type: columnar.Int64})
 	return emit(columnar.BatchOf(schema, columnar.FromInt64s([]int64{s.count})))
 }
+
+// SnapshotState implements flow.Snapshotter.
+func (s *CountStage) SnapshotState() any { return s.count }
+
+// RestoreState implements flow.Snapshotter.
+func (s *CountStage) RestoreState(state any) { s.count = state.(int64) }
 
 // TopKStage retains the K largest values of ByCol (BIGINT) with their
 // rows, emitting them in descending order at flush.
@@ -225,6 +249,31 @@ func (s *TopKStage) Flush(emit flow.Emit) error {
 	return emit(out)
 }
 
+// topKSnapshot is TopKStage's checkpoint state. Retained row batches are
+// immutable once built, so sharing them with the snapshot is safe.
+type topKSnapshot struct {
+	rows   []*columnar.Batch
+	keys   []int64
+	schema *columnar.Schema
+}
+
+// SnapshotState implements flow.Snapshotter.
+func (s *TopKStage) SnapshotState() any {
+	return &topKSnapshot{
+		rows:   append([]*columnar.Batch(nil), s.rows...),
+		keys:   append([]int64(nil), s.keys...),
+		schema: s.schema,
+	}
+}
+
+// RestoreState implements flow.Snapshotter.
+func (s *TopKStage) RestoreState(state any) {
+	snap := state.(*topKSnapshot)
+	s.rows = append([]*columnar.Batch(nil), snap.rows...)
+	s.keys = append([]int64(nil), snap.keys...)
+	s.schema = snap.schema
+}
+
 // SortStage buffers the whole stream and emits it sorted by ByCol
 // (BIGINT, ascending). Sorting is inherently blocking, which is why the
 // paper keeps it off the streaming path and on compute nodes.
@@ -280,6 +329,17 @@ func (s *SortStage) Flush(emit flow.Emit) error {
 	return emit(out)
 }
 
+// SnapshotState implements flow.Snapshotter. Buffered batches are never
+// mutated, so the snapshot shares them.
+func (s *SortStage) SnapshotState() any {
+	return append([]*columnar.Batch(nil), s.buffered...)
+}
+
+// RestoreState implements flow.Snapshotter.
+func (s *SortStage) RestoreState(state any) {
+	s.buffered = append([]*columnar.Batch(nil), state.([]*columnar.Batch)...)
+}
+
 // LimitStage forwards at most N rows.
 type LimitStage struct {
 	N    int
@@ -304,6 +364,12 @@ func (s *LimitStage) Process(b *columnar.Batch, emit flow.Emit) error {
 
 // Flush implements flow.Stage.
 func (s *LimitStage) Flush(flow.Emit) error { return nil }
+
+// SnapshotState implements flow.Snapshotter.
+func (s *LimitStage) SnapshotState() any { return s.seen }
+
+// RestoreState implements flow.Snapshotter.
+func (s *LimitStage) RestoreState(state any) { s.seen = state.(int) }
 
 // CompressStage re-encodes batches for the wire and DecompressStage
 // restores them; together they model the compression/encryption steps

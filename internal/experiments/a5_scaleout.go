@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -48,7 +49,7 @@ func A5ScaleOut(rows int, nodeCounts []int) (*A5Result, error) {
 			return nil, err
 		}
 		q := plan.NewQuery("kv").WithGroupBy(workload.KVGroupBy())
-		r, err := eng.ExecuteGroupByDistributed(q, n)
+		r, err := eng.ExecuteGroupByDistributed(context.Background(), q, n)
 		if err != nil {
 			return nil, err
 		}

@@ -21,3 +21,11 @@ func BenchmarkE20StageOverlap(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE21Lifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := E21Lifecycle(12000, E21Options{OfferedLoads: []int{1, 8}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

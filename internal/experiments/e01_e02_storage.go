@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -41,7 +42,7 @@ func E1ConventionalPath(rows int) (*E1Result, error) {
 	for _, sel := range []float64{0.001, 0.01, 0.1, 1.0} {
 		top.ResetMeters()
 		// The legacy engine pulls everything to the CPU, then filters.
-		if _, err := top.Transfer(fabric.DevDisk, fabric.DevCPU, size); err != nil {
+		if _, err := top.Transfer(context.Background(), fabric.DevDisk, fabric.DevCPU, size); err != nil {
 			return nil, err
 		}
 		cpu := top.MustDevice(fabric.DevCPU)
@@ -123,11 +124,11 @@ func E2StoragePushdown(rows int, selectivities []float64) (*E2Result, error) {
 		if cpuOnly == nil || pushdown == nil {
 			return nil, fmt.Errorf("experiments: missing variants for E2")
 		}
-		cpuRes, err := eng.ExecutePlan(cpuOnly)
+		cpuRes, err := eng.ExecutePlan(context.Background(), cpuOnly)
 		if err != nil {
 			return nil, err
 		}
-		pdRes, err := eng.ExecutePlan(pushdown)
+		pdRes, err := eng.ExecutePlan(context.Background(), pushdown)
 		if err != nil {
 			return nil, err
 		}

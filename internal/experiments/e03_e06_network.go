@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/columnar"
@@ -59,7 +60,7 @@ func E3NICHashPipeline(rows int) (*E3Result, error) {
 		pipe := &flow.Pipeline{
 			Name: "e3",
 			Source: func(emit flow.Emit) error {
-				_, err := eng.Storage.Scan("lineitem", spec, emit)
+				_, err := eng.Storage.Scan(context.Background(), "lineitem", spec, emit)
 				return err
 			},
 			Stages: []flow.Placed{
@@ -71,7 +72,7 @@ func E3NICHashPipeline(rows int) (*E3Result, error) {
 				mustPath(cluster, hashDev.Name, cpu.Name),
 			},
 		}
-		if _, err := pipe.Run(func(b *columnar.Batch) error {
+		if _, err := pipe.Run(context.Background(), func(b *columnar.Batch) error {
 			hashes = append(hashes, b.Col(1).Int64s()...)
 			return nil
 		}); err != nil {
@@ -182,11 +183,11 @@ func E4StagedPreAgg(rows int, cardinalities []int64) (*E4Result, error) {
 		if full == nil || cpuOnly == nil {
 			return nil, fmt.Errorf("experiments: E4 variants missing")
 		}
-		fullRes, err := eng.ExecutePlan(full)
+		fullRes, err := eng.ExecutePlan(context.Background(), full)
 		if err != nil {
 			return nil, err
 		}
-		cpuRes, err := eng.ExecutePlan(cpuOnly)
+		cpuRes, err := eng.ExecutePlan(context.Background(), cpuOnly)
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +309,7 @@ func E6NICCount(rows int) (*E6Result, error) {
 		if err := eng.Load("lineitem", data); err != nil {
 			return nil, err
 		}
-		return eng.Execute(q)
+		return eng.Execute(context.Background(), q)
 	}
 	smart, err := run(true)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/columnar"
@@ -53,11 +54,11 @@ func E10FullPipeline(rows int) (*E10Result, error) {
 	if full == nil || cpuOnly == nil {
 		return nil, fmt.Errorf("experiments: E10 variants missing")
 	}
-	fullRes, err := df.ExecutePlan(full)
+	fullRes, err := df.ExecutePlan(context.Background(), full)
 	if err != nil {
 		return nil, err
 	}
-	cpuRes, err := df.ExecutePlan(cpuOnly)
+	cpuRes, err := df.ExecutePlan(context.Background(), cpuOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func E10FullPipeline(rows int) (*E10Result, error) {
 	if err := vo.Load("lineitem", data); err != nil {
 		return nil, err
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +145,7 @@ func E11CreditFlow(batches int) (*E11Result, error) {
 			Depth:       depth,
 			CreditBatch: creditBatch,
 		}
-		fr, err := pipe.Run(func(*columnar.Batch) error { return nil })
+		fr, err := pipe.Run(context.Background(), func(*columnar.Batch) error { return nil })
 		if err != nil {
 			return nil, err
 		}
@@ -206,19 +207,19 @@ func E12Interference(rows int) (*E12Result, error) {
 			}
 			s := eng.Scheduler
 			s.ContentionPenalty = 5
-			adm1, err := s.Admit(append(append([]*plan.Physical{}, lists[0]...), lists[1]...))
+			adm1, err := s.Admit(context.Background(), append(append([]*plan.Physical{}, lists[0]...), lists[1]...))
 			if err != nil {
 				return 0, variants, err
 			}
-			adm2, err := s.Admit(append(append([]*plan.Physical{}, lists[0]...), lists[1]...))
+			adm2, err := s.Admit(context.Background(), append(append([]*plan.Physical{}, lists[0]...), lists[1]...))
 			if err != nil {
 				return 0, variants, err
 			}
-			r1, err := eng.ExecutePlan(adm1.Plan)
+			r1, err := eng.ExecutePlan(context.Background(), adm1.Plan)
 			if err != nil {
 				return 0, variants, err
 			}
-			r2, err := eng.ExecutePlan(adm2.Plan)
+			r2, err := eng.ExecutePlan(context.Background(), adm2.Plan)
 			if err != nil {
 				return 0, variants, err
 			}
@@ -238,11 +239,11 @@ func E12Interference(rows int) (*E12Result, error) {
 			if err != nil {
 				return 0, variants, err
 			}
-			r1, err := eng.ExecutePlan(vs[0])
+			r1, err := eng.ExecutePlan(context.Background(), vs[0])
 			if err != nil {
 				return 0, variants, err
 			}
-			r2, err := eng.ExecutePlan(vs[0])
+			r2, err := eng.ExecutePlan(context.Background(), vs[0])
 			if err != nil {
 				return 0, variants, err
 			}
@@ -312,7 +313,7 @@ func E13NoBufferPool(sizes []int, poolBytes sim.Bytes) (*E13Result, error) {
 		if err := df.Load("lineitem", data); err != nil {
 			return nil, err
 		}
-		dfRes, err := df.Execute(q())
+		dfRes, err := df.Execute(context.Background(), q())
 		if err != nil {
 			return nil, err
 		}
@@ -326,10 +327,10 @@ func E13NoBufferPool(sizes []int, poolBytes sim.Bytes) (*E13Result, error) {
 		}
 		// Two passes: the second shows whether the pool holds the
 		// working set or thrashes.
-		if _, err := vo.Execute(q()); err != nil {
+		if _, err := vo.Execute(context.Background(), q()); err != nil {
 			return nil, err
 		}
-		voRes, err := vo.Execute(q())
+		voRes, err := vo.Execute(context.Background(), q())
 		if err != nil {
 			return nil, err
 		}
@@ -375,11 +376,11 @@ func E14NoDataCache(rows int) (*E14Result, error) {
 	if err := vo.Load("lineitem", data); err != nil {
 		return nil, err
 	}
-	cold, err := vo.Execute(q)
+	cold, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	warm, err := vo.Execute(q)
+	warm, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -391,11 +392,11 @@ func E14NoDataCache(rows int) (*E14Result, error) {
 	if err := df.Load("lineitem", data); err != nil {
 		return nil, err
 	}
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	dfRes2, err := df.Execute(q)
+	dfRes2, err := df.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/columnar"
@@ -206,7 +207,7 @@ func A2NICTierSweep(rows int) (*A2Result, error) {
 				cpuOnly = v
 			}
 		}
-		r, err := eng.ExecutePlan(cpuOnly) // ships everything: network-sensitive
+		r, err := eng.ExecutePlan(context.Background(), cpuOnly) // ships everything: network-sensitive
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +279,7 @@ func A3SegmentSize(rows int) (*A3Result, error) {
 		q := plan.NewQuery("facts").
 			WithFilter(expr.NewBetween(0, int64(rows/2), int64(rows/2+rows/20))).
 			WithProjection(1)
-		r, err := eng.Execute(q)
+		r, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -62,14 +63,14 @@ func E17DisaggregatedMemory(rows int, selectivities []float64) (*E17Result, erro
 			if offload {
 				// DRAM -> memory NIC at full controller bandwidth, filter
 				// there, survivors onward.
-				t, err := c.Transfer(fabric.DevMemNode, fabric.DevMemNIC, regionBytes)
+				t, err := c.Transfer(context.Background(), fabric.DevMemNode, fabric.DevMemNIC, regionBytes)
 				if err != nil {
 					return 0, 0, 0, err
 				}
 				total += t
 				total += memNIC.ChargeSetup()
 				total += memNIC.Charge(fabric.OpFilter, regionBytes)
-				t, err = c.Transfer(fabric.DevMemNIC, c.ComputeCPU(0).Name, survivorBytes)
+				t, err = c.Transfer(context.Background(), fabric.DevMemNIC, c.ComputeCPU(0).Name, survivorBytes)
 				if err != nil {
 					return 0, 0, 0, err
 				}
@@ -77,7 +78,7 @@ func E17DisaggregatedMemory(rows int, selectivities []float64) (*E17Result, erro
 				total += cpu.Charge(fabric.OpScan, survivorBytes)
 			} else {
 				// Everything crosses the network; the CPU filters.
-				t, err := c.Transfer(fabric.DevMemNode, cpu.Name, regionBytes)
+				t, err := c.Transfer(context.Background(), fabric.DevMemNode, cpu.Name, regionBytes)
 				if err != nil {
 					return 0, 0, 0, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -152,7 +153,7 @@ func E19Availability(rows int) (*E19Result, error) {
 		var dfTime, voTime sim.VTime
 		for trial := 0; trial < trials; trial++ {
 			for qi, q := range queries {
-				r, err := df.Execute(q)
+				r, err := df.Execute(context.Background(), q)
 				switch {
 				case err != nil && rate == 0:
 					return nil, fmt.Errorf("experiments: E19 fault-free data-flow run failed: %w", err)
@@ -170,7 +171,7 @@ func E19Availability(rows int) (*E19Result, error) {
 					dfTime += r.Stats.SimTime + r.Stats.RecoveryTime
 				}
 
-				vr, err := vo.Execute(q)
+				vr, err := vo.Execute(context.Background(), q)
 				switch {
 				case err != nil && rate == 0:
 					return nil, fmt.Errorf("experiments: E19 fault-free volcano run failed: %w", err)

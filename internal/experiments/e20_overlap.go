@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -53,7 +54,7 @@ func E20StageOverlap(rows int) (*E20Result, error) {
 	if err := df.Load("lineitem", data); err != nil {
 		return nil, err
 	}
-	dfRes, err := df.Execute(q)
+	dfRes, err := df.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func E20StageOverlap(rows int) (*E20Result, error) {
 	if err := vo.Load("lineitem", data); err != nil {
 		return nil, err
 	}
-	voRes, err := vo.Execute(q)
+	voRes, err := vo.Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}

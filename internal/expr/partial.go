@@ -182,6 +182,29 @@ func (p *PartialAggregator) findGroup(vals []columnar.Value) (*partialGroup, *co
 	return g, nil
 }
 
+// Clone deep-copies the aggregator's accumulated state, for stage-level
+// checkpointing: the copy shares no group records with the original, so
+// either side can keep folding rows without affecting the other.
+func (p *PartialAggregator) Clone() *PartialAggregator {
+	c := &PartialAggregator{
+		Spec:      p.Spec,
+		In:        p.In,
+		MaxGroups: p.MaxGroups,
+		groups:    make(map[string]*partialGroup, len(p.groups)),
+		order:     make([]*partialGroup, 0, len(p.order)),
+	}
+	for _, g := range p.order {
+		ng := &partialGroup{
+			key:    g.key,
+			vals:   append([]columnar.Value(nil), g.vals...),
+			states: append([]AggState(nil), g.states...),
+		}
+		c.groups[ng.key] = ng
+		c.order = append(c.order, ng)
+	}
+	return c
+}
+
 // Flush emits all held groups as one partial batch (nil when empty) and
 // clears the state.
 func (p *PartialAggregator) Flush() *columnar.Batch {
@@ -232,6 +255,12 @@ func (f *FinalAggregator) AddPartial(b *columnar.Batch) { f.partial.AddPartial(b
 
 // NumGroups reports the number of result groups so far.
 func (f *FinalAggregator) NumGroups() int { return f.partial.NumGroups() }
+
+// Clone deep-copies the aggregator's accumulated state (see
+// PartialAggregator.Clone).
+func (f *FinalAggregator) Clone() *FinalAggregator {
+	return &FinalAggregator{partial: f.partial.Clone(), in: f.in}
+}
 
 // Result materializes the final aggregate values, sorted by group key for
 // deterministic output.

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestTopologyPathAndTransfer(t *testing.T) {
 		t.Fatalf("path disk->cpu has %d hops, want 3", len(path))
 	}
 	// Moving 1 GB charges all three links.
-	if _, err := top.Transfer(DevDisk, DevCPU, sim.GB); err != nil {
+	if _, err := top.Transfer(context.Background(), DevDisk, DevCPU, sim.GB); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"disk--dram", "dram--llc", "llc--cpu"} {
@@ -158,7 +159,7 @@ func TestTopologyDuplicateDevicePanics(t *testing.T) {
 
 func TestTopologyResetMeters(t *testing.T) {
 	top := NewConventionalServer()
-	if _, err := top.Transfer(DevDisk, DevCPU, sim.MB); err != nil {
+	if _, err := top.Transfer(context.Background(), DevDisk, DevCPU, sim.MB); err != nil {
 		t.Fatal(err)
 	}
 	top.MustDevice(DevCPU).Charge(OpFilter, sim.MB)

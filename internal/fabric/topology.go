@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -156,8 +157,14 @@ func (t *Topology) Path(a, b string) ([]*Link, error) {
 
 // Transfer charges moving n bytes along the shortest path from a to b and
 // returns the total virtual time (sum of per-link latency plus
-// store-and-forward transfer time on each hop).
-func (t *Topology) Transfer(a, b string, n sim.Bytes) (sim.VTime, error) {
+// store-and-forward transfer time on each hop). A cancelled or expired
+// ctx aborts before any link is charged.
+func (t *Topology) Transfer(ctx context.Context, a, b string, n sim.Bytes) (sim.VTime, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	path, err := t.Path(a, b)
 	if err != nil {
 		return 0, err

@@ -71,6 +71,11 @@ type Point struct {
 	Prob float64
 	// Budget caps the total fires; 0 means unlimited.
 	Budget int
+	// After makes the point pass its first After matching checks without
+	// firing (or consuming randomness): a deterministic way to strike
+	// mid-stream — e.g. after a checkpoint epoch has completed — instead
+	// of on the first batch. 0 means eligible immediately.
+	After int
 }
 
 // Event records one fired fault: fire number Seq of armed point Point.
@@ -90,6 +95,7 @@ func (e Event) String() string {
 type armedPoint struct {
 	Point
 	rng    *sim.RNG
+	checks int64
 	fires  int64
 	events []Event
 }
@@ -146,6 +152,10 @@ func (in *Injector) Fire(kind Kind, target string) bool {
 		if ap.Budget > 0 && ap.fires >= int64(ap.Budget) {
 			continue
 		}
+		ap.checks++
+		if ap.checks <= int64(ap.After) {
+			continue
+		}
 		if ap.Prob < 1 && ap.rng.Float64() >= ap.Prob {
 			continue
 		}
@@ -197,6 +207,7 @@ func (in *Injector) Reset() {
 	defer in.mu.Unlock()
 	for i, ap := range in.points {
 		ap.rng = sim.NewRNG(pointSeed(in.seed, i))
+		ap.checks = 0
 		ap.fires = 0
 		ap.events = nil
 	}

@@ -85,3 +85,22 @@ func (s *SlowStage) Process(b *columnar.Batch, emit Emit) error {
 
 // Flush forwards to the wrapped stage.
 func (s *SlowStage) Flush(emit Emit) error { return s.Inner.Flush(emit) }
+
+// SnapshotState forwards to the wrapped stage, so a slowed stateful
+// stage still checkpoints. Wrapping a stateless stage snapshots nil.
+func (s *SlowStage) SnapshotState() any {
+	if sn, ok := s.Inner.(Snapshotter); ok {
+		return sn.SnapshotState()
+	}
+	return nil
+}
+
+// RestoreState forwards to the wrapped stage.
+func (s *SlowStage) RestoreState(state any) {
+	if state == nil {
+		return
+	}
+	if sn, ok := s.Inner.(Snapshotter); ok {
+		sn.RestoreState(state)
+	}
+}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -36,7 +37,7 @@ func TestPipelineRowConservationProperty(t *testing.T) {
 		}
 		p := &Pipeline{Name: "prop", Source: src, Stages: stages, Depth: depth}
 		var got []int64
-		if _, err := p.Run(func(b *columnar.Batch) error {
+		if _, err := p.Run(context.Background(), func(b *columnar.Batch) error {
 			got = append(got, b.Col(0).Int64s()...)
 			return nil
 		}); err != nil {
@@ -69,7 +70,7 @@ func TestPipelineMessageAccountingProperty(t *testing.T) {
 			Stages: []Placed{{Stage: &passStage{name: "a"}}, {Stage: &passStage{name: "b"}}},
 			Depth:  depth,
 		}
-		res, err := p.Run(func(*columnar.Batch) error { return nil })
+		res, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 		if err != nil {
 			return false
 		}

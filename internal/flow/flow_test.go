@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -86,7 +87,7 @@ func nBatchSource(n, rowsPer int) Source {
 func TestPipelineSourceOnly(t *testing.T) {
 	p := &Pipeline{Name: "src", Source: nBatchSource(3, 10)}
 	var rows int64
-	res, err := p.Run(func(b *columnar.Batch) error {
+	res, err := p.Run(context.Background(), func(b *columnar.Batch) error {
 		rows += int64(b.NumRows())
 		return nil
 	})
@@ -108,7 +109,7 @@ func TestPipelineStagesTransform(t *testing.T) {
 		},
 	}
 	var got []int64
-	res, err := p.Run(func(b *columnar.Batch) error {
+	res, err := p.Run(context.Background(), func(b *columnar.Batch) error {
 		got = append(got, b.Col(0).Int64s()...)
 		return nil
 	})
@@ -138,7 +139,7 @@ func TestPipelineChargesDevicesAndLinks(t *testing.T) {
 		},
 		Paths: [][]*fabric.Link{{link}},
 	}
-	if _, err := p.Run(func(*columnar.Batch) error { return nil }); err != nil {
+	if _, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	wantBytes := sim.Bytes(10 * 100 * 8)
@@ -167,7 +168,7 @@ func TestPipelineErrorPropagates(t *testing.T) {
 		},
 		Depth: 2,
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	if err == nil || err.Error() != "stage exploded" {
 		t.Fatalf("err = %v, want stage exploded", err)
 	}
@@ -184,7 +185,7 @@ func TestPipelineSourceErrorPropagates(t *testing.T) {
 		},
 		Stages: []Placed{{Stage: &passStage{name: "p"}}},
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	if err == nil || err.Error() != "source broke" {
 		t.Fatalf("err = %v", err)
 	}
@@ -196,7 +197,7 @@ func TestPipelineSinkErrorPropagates(t *testing.T) {
 		Source: nBatchSource(5, 1),
 		Stages: []Placed{{Stage: &passStage{name: "p"}}},
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return errors.New("sink full") })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return errors.New("sink full") })
 	if err == nil || err.Error() != "sink full" {
 		t.Fatalf("err = %v", err)
 	}
@@ -204,7 +205,7 @@ func TestPipelineSinkErrorPropagates(t *testing.T) {
 
 func TestPipelineValidation(t *testing.T) {
 	p := &Pipeline{Name: "nosrc"}
-	if _, err := p.Run(func(*columnar.Batch) error { return nil }); err == nil {
+	if _, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil }); err == nil {
 		t.Error("pipeline without source ran")
 	}
 	p2 := &Pipeline{
@@ -213,7 +214,7 @@ func TestPipelineValidation(t *testing.T) {
 		Stages: []Placed{{Stage: &passStage{name: "s"}}},
 		Paths:  [][]*fabric.Link{nil, nil},
 	}
-	if _, err := p2.Run(func(*columnar.Batch) error { return nil }); err == nil {
+	if _, err := p2.Run(context.Background(), func(*columnar.Batch) error { return nil }); err == nil {
 		t.Error("mismatched Paths accepted")
 	}
 }
@@ -228,7 +229,7 @@ func TestCreditFlowBatching(t *testing.T) {
 		Depth:       16,
 		CreditBatch: 8,
 	}
-	res, err := p.Run(func(*columnar.Batch) error { return nil })
+	res, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestBackpressureBoundsInFlight(t *testing.T) {
 		Stages: []Placed{{Stage: &passStage{name: "p"}}},
 		Depth:  2,
 	}
-	if _, err := p.Run(slow); err != nil {
+	if _, err := p.Run(context.Background(), slow); err != nil {
 		t.Fatal(err)
 	}
 	// Allowed in flight: port queue (2) + credit slack (2) + one in each
@@ -289,7 +290,7 @@ func TestPortDepthOne(t *testing.T) {
 		Depth:  1,
 	}
 	var rows int
-	if _, err := p.Run(func(b *columnar.Batch) error { rows += b.NumRows(); return nil }); err != nil {
+	if _, err := p.Run(context.Background(), func(b *columnar.Batch) error { rows += b.NumRows(); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if rows != 20 {
@@ -304,7 +305,7 @@ func TestLongChainManyBatches(t *testing.T) {
 	}
 	p := &Pipeline{Name: "chain", Source: nBatchSource(200, 3), Stages: stages, Depth: 4}
 	var rows int
-	res, err := p.Run(func(b *columnar.Batch) error { rows += b.NumRows(); return nil })
+	res, err := p.Run(context.Background(), func(b *columnar.Batch) error { rows += b.NumRows(); return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,15 @@ type Pipeline struct {
 	// SourceTrack names the device feeding the source, for attributing
 	// source-side credit stalls in the trace.
 	SourceTrack string
+	// Ckpt, when non-nil, records stage-boundary checkpoints: the source
+	// calls Ckpt.Mark at its watermarks and the runtime punctuates the
+	// stream with markers each stage snapshots at. Build a fresh
+	// Checkpointer per run.
+	Ckpt *Checkpointer
+	// Restore, when non-nil, reinstalls a completed epoch's per-stage
+	// snapshots into the (freshly built) stages before the run starts.
+	// The source must separately resume from the epoch's watermark.
+	Restore *Restore
 }
 
 // Result reports what a pipeline run did.
@@ -111,15 +121,38 @@ func (r Result) TotalCreditMessages() int64 {
 }
 
 // Run executes the pipeline, delivering final batches to sink (called
-// from a single goroutine). It returns when every stage has flushed or
-// any element failed.
-func (p *Pipeline) Run(sink Emit) (Result, error) {
+// from a single goroutine). It returns when every stage has flushed, any
+// element failed, or ctx was cancelled — cancellation closes the done
+// channel, so blocked port sends and receives unwind, credits drain, and
+// every goroutine exits before Run returns.
+func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 	var res Result
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Source == nil {
 		return res, fmt.Errorf("flow: pipeline %q has no source", p.Name)
 	}
 	if len(p.Paths) != 0 && len(p.Paths) != len(p.Stages) {
 		return res, fmt.Errorf("flow: pipeline %q has %d paths for %d stages", p.Name, len(p.Paths), len(p.Stages))
+	}
+	if p.Restore != nil {
+		if len(p.Restore.Snaps) != len(p.Stages) {
+			return res, fmt.Errorf("flow: pipeline %q restore carries %d snapshots for %d stages",
+				p.Name, len(p.Restore.Snaps), len(p.Stages))
+		}
+		for i, st := range p.Stages {
+			snap := p.Restore.Snaps[i]
+			if snap == nil {
+				continue
+			}
+			sn, ok := st.Stage.(Snapshotter)
+			if !ok {
+				return res, fmt.Errorf("flow: pipeline %q restore has state for stage %q, which cannot restore",
+					p.Name, st.Stage.Name())
+			}
+			sn.RestoreState(snap)
+		}
 	}
 	depth := p.Depth
 	if depth <= 0 {
@@ -176,6 +209,36 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 
 	res.BatchesIn = make([]int64, len(p.Stages))
 	res.BatchesOut = make([]int64, len(p.Stages))
+
+	// Context watcher: a deadline or cancellation fails the run, which
+	// closes done and unwinds every blocked port operation.
+	ctxStop := make(chan struct{})
+	var ctxWG sync.WaitGroup
+	if ctx.Done() != nil {
+		ctxWG.Add(1)
+		go func() {
+			defer ctxWG.Done()
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-ctxStop:
+			case <-done:
+			}
+		}()
+	}
+
+	// Checkpointing: the source's Mark calls inject an epoch marker into
+	// the stream (or, with no stages, complete the epoch at the sink
+	// directly — the source goroutine is the sink writer there).
+	if p.Ckpt != nil {
+		p.Ckpt.bind(len(p.Stages), func(epoch int) error {
+			if len(ports) == 0 {
+				p.Ckpt.sinkComplete(epoch, res.SinkBatches)
+				return nil
+			}
+			return ports[0].SendMarker(epoch)
+		})
+	}
 
 	// Stages that block for long stretches (injected slowness, external
 	// waits) observe the cancellation channel so teardown never leaks a
@@ -284,11 +347,30 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 				}
 			}
 			for {
-				b, ok, err := in.Recv()
+				it, ok, err := in.recvItem()
 				if err != nil {
 					fail(err)
 					break
 				}
+				if ok && it.b == nil {
+					// Checkpoint marker: every batch of its epoch has been
+					// processed here, so the stage's state right now is the
+					// epoch's consistent snapshot. Record it and pass the
+					// marker on; at the last stage the epoch completes.
+					var snap any
+					if sn, isSnap := st.Stage.(Snapshotter); isSnap {
+						snap = sn.SnapshotState()
+					}
+					p.Ckpt.stageSnap(i, it.epoch, snap)
+					if last {
+						p.Ckpt.sinkComplete(it.epoch, res.SinkBatches)
+					} else if err := ports[i+1].SendMarker(it.epoch); err != nil {
+						fail(err)
+						break
+					}
+					continue
+				}
+				b := it.b
 				if !ok {
 					before := res.BatchesOut[i]
 					busySince[i].Store(time.Now().UnixNano())
@@ -385,6 +467,8 @@ func (p *Pipeline) Run(sink Emit) (Result, error) {
 	wg.Wait()
 	close(watchStop)
 	watchWG.Wait()
+	close(ctxStop)
+	ctxWG.Wait()
 	for _, port := range ports {
 		res.Ports = append(res.Ports, port.Stats())
 	}

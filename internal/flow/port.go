@@ -25,6 +25,16 @@ import (
 // torn down due to an error elsewhere.
 var ErrCanceled = errors.New("flow: pipeline canceled")
 
+// portItem is one message on a port: a data batch, or (when b is nil) a
+// checkpoint marker carrying the epoch number. Markers are punctuation:
+// FIFO ordering guarantees that when a marker arrives, every batch of
+// its epoch has already arrived, so a stage's state at marker receipt is
+// a consistent per-epoch snapshot (Chandy-Lamport on a linear chain).
+type portItem struct {
+	b     *columnar.Batch
+	epoch int
+}
+
 // Port is one credit-controlled queue between two pipeline stages.
 type Port struct {
 	Name string
@@ -36,7 +46,7 @@ type Port struct {
 	depth       int
 	creditBatch int
 
-	ch      chan *columnar.Batch
+	ch      chan portItem
 	credits chan struct{}
 	done    <-chan struct{}
 	// tape is the receiving stage's tape; only the single sending
@@ -47,6 +57,7 @@ type Port struct {
 	pending    atomic.Int64 // credits held back at the receiver
 	dataMsgs   atomic.Int64
 	creditMsgs atomic.Int64
+	markerMsgs atomic.Int64
 	bytes      atomic.Int64
 }
 
@@ -73,7 +84,7 @@ func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-ch
 		Path:        path,
 		depth:       depth,
 		creditBatch: creditBatch,
-		ch:          make(chan *columnar.Batch, depth),
+		ch:          make(chan portItem, depth),
 		credits:     make(chan struct{}, depth),
 		done:        done,
 		tape:        tape,
@@ -115,7 +126,25 @@ func (p *Port) Send(b *columnar.Batch) error {
 	select {
 	case <-p.done:
 		return ErrCanceled
-	case p.ch <- b:
+	case p.ch <- portItem{b: b}:
+	}
+	return nil
+}
+
+// SendMarker forwards a checkpoint marker downstream. Markers ride the
+// same FIFO as data but bypass credits: they are control traffic, so
+// each path link is charged one control message, not a transfer. A
+// marker send can still block on a full queue; that back-pressure is
+// intended and cancellable via the done channel.
+func (p *Port) SendMarker(epoch int) error {
+	for _, l := range p.Path {
+		l.Message()
+	}
+	p.markerMsgs.Add(1)
+	select {
+	case <-p.done:
+		return ErrCanceled
+	case p.ch <- portItem{epoch: epoch}:
 	}
 	return nil
 }
@@ -124,18 +153,32 @@ func (p *Port) Send(b *columnar.Batch) error {
 // it, exactly once.
 func (p *Port) Close() { close(p.ch) }
 
-// Recv returns the next batch. ok is false at end-of-stream. The
-// receiver must call CreditReturn after it has finished processing each
-// received batch.
+// Recv returns the next batch, skipping any checkpoint markers. ok is
+// false at end-of-stream. The receiver must call CreditReturn after it
+// has finished processing each received batch.
 func (p *Port) Recv() (*columnar.Batch, bool, error) {
+	for {
+		it, ok, err := p.recvItem()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.b != nil {
+			return it.b, true, nil
+		}
+	}
+}
+
+// recvItem returns the next message — batch or marker. ok is false at
+// end-of-stream.
+func (p *Port) recvItem() (portItem, bool, error) {
 	select {
 	case <-p.done:
-		return nil, false, ErrCanceled
-	case b, ok := <-p.ch:
+		return portItem{}, false, ErrCanceled
+	case it, ok := <-p.ch:
 		if !ok {
-			return nil, false, nil
+			return portItem{}, false, nil
 		}
-		return b, true, nil
+		return it, true, nil
 	}
 }
 
@@ -176,6 +219,7 @@ func (p *Port) Stats() PortStats {
 		Depth:          p.depth,
 		DataMessages:   p.dataMsgs.Load(),
 		CreditMessages: p.creditMsgs.Load(),
+		MarkerMessages: p.markerMsgs.Load(),
 		Bytes:          sim.Bytes(p.bytes.Load()),
 	}
 }
@@ -183,11 +227,14 @@ func (p *Port) Stats() PortStats {
 // PortStats is a snapshot of one port's counters. The paper's claim that
 // credit-based flow control "is easy to implement and low traffic"
 // (Section 7.1) is checked by comparing CreditMessages to DataMessages.
+// MarkerMessages counts checkpoint punctuation, present only when the
+// pipeline checkpoints.
 type PortStats struct {
 	Name           string
 	Depth          int
 	DataMessages   int64
 	CreditMessages int64
+	MarkerMessages int64
 	Bytes          sim.Bytes
 }
 

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"runtime"
 	"testing"
@@ -56,7 +57,7 @@ func TestWatchdogCancelsHungStage(t *testing.T) {
 		StageTimeout: 20 * time.Millisecond,
 	}
 	start := time.Now()
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	if err == nil {
 		t.Fatal("hung stage completed")
 	}
@@ -90,7 +91,7 @@ func TestWatchdogBlamesMostDownstreamStage(t *testing.T) {
 		Depth:        2,
 		StageTimeout: 20 * time.Millisecond,
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	var se *StageError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %T %v, want *StageError", err, err)
@@ -109,7 +110,7 @@ func TestOfflineDeviceFailsStage(t *testing.T) {
 		Source: nBatchSource(2, 4),
 		Stages: []Placed{{Stage: &passStage{name: "preagg"}, Device: dev}},
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	var se *StageError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %T %v, want *StageError", err, err)
@@ -133,7 +134,7 @@ func TestInjectedDeviceOfflineMidStream(t *testing.T) {
 		Stages: []Placed{{Stage: &passStage{name: "agg"}, Device: dev}},
 		Faults: inj,
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	if !errors.Is(err, fabric.ErrDeviceOffline) {
 		t.Fatalf("err = %v, want injected device-offline failure", err)
 	}
@@ -157,7 +158,7 @@ func TestLinkFaultAbortsTransfer(t *testing.T) {
 		Stages: []Placed{{Stage: &passStage{name: "recv"}}},
 		Paths:  [][]*fabric.Link{{link}},
 	}
-	_, err := p.Run(func(*columnar.Batch) error { return nil })
+	_, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil })
 	var le *LinkError
 	if !errors.As(err, &le) {
 		t.Fatalf("err = %T %v, want *LinkError", err, err)
@@ -188,7 +189,7 @@ func TestSlowStageDelaysButCompletes(t *testing.T) {
 		StageTimeout: time.Second,
 	}
 	var got int64
-	_, err := p.Run(func(b *columnar.Batch) error {
+	_, err := p.Run(context.Background(), func(b *columnar.Batch) error {
 		got = b.Col(0).Int64s()[0]
 		return nil
 	})

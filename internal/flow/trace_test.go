@@ -2,6 +2,7 @@ package flow
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/columnar"
@@ -31,7 +32,7 @@ func tracedPipeline(tr *obs.Trace) *Pipeline {
 
 func TestPipelineTraceTimeline(t *testing.T) {
 	tr := obs.New()
-	if _, err := tracedPipeline(tr).Run(func(*columnar.Batch) error { return nil }); err != nil {
+	if _, err := tracedPipeline(tr).Run(context.Background(), func(*columnar.Batch) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	spans := tr.Spans()
@@ -86,7 +87,7 @@ func TestPipelineTraceTimeline(t *testing.T) {
 func TestPipelineTraceDeterministic(t *testing.T) {
 	render := func() string {
 		tr := obs.New()
-		if _, err := tracedPipeline(tr).Run(func(*columnar.Batch) error { return nil }); err != nil {
+		if _, err := tracedPipeline(tr).Run(context.Background(), func(*columnar.Batch) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
@@ -103,7 +104,7 @@ func TestPipelineTraceDeterministic(t *testing.T) {
 
 func TestPipelineTraceDisabledRecordsNothing(t *testing.T) {
 	p := tracedPipeline(nil)
-	if _, err := p.Run(func(*columnar.Batch) error { return nil }); err != nil {
+	if _, err := p.Run(context.Background(), func(*columnar.Batch) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	// And the same pipeline still works with the nil trace's methods.

@@ -3,14 +3,20 @@
 // contend for a link or accelerator, arbitration and re-acquisition
 // overheads eat throughput. The scheduler therefore (a) selects among
 // each query's plan *variants* at admission time, steering new work away
-// from loaded resources, and (b) rate-limits the DMA bandwidth of plans
-// sharing a link so each gets a fair, predictable share.
+// from loaded resources, (b) rate-limits the DMA bandwidth of plans
+// sharing a link so each gets a fair, predictable share, and (c) bounds
+// the number of concurrently running plans, queueing or shedding the
+// rest so overload degrades into fast rejections instead of collapse.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
@@ -18,14 +24,32 @@ import (
 	"repro/internal/sim"
 )
 
+// ErrOverloaded is returned when admission control sheds a query: the
+// admit queue is full, or the projected queue wait already exceeds the
+// caller's deadline. Shed queries never held resources, so callers can
+// fail fast or retry elsewhere without cleanup.
+var ErrOverloaded = errors.New("sched: overloaded")
+
 // Admission is one admitted plan execution. Callers must Release it when
 // the query finishes.
 type Admission struct {
 	ID      int64
 	Plan    *plan.Physical
 	Variant string
+	// Cost is the optimizer's virtual-time estimate for the chosen
+	// variant, used to calibrate projected queue waits.
+	Cost sim.VTime
 
-	links []*fabric.Link
+	links    []*fabric.Link
+	admitted time.Time
+}
+
+// waiter is one query parked in the bounded admit queue.
+type waiter struct {
+	variants []*plan.Physical
+	ready    chan struct{}
+	adm      *Admission
+	err      error
 }
 
 // Scheduler tracks active plans and the load they put on fabric links.
@@ -34,6 +58,7 @@ type Scheduler struct {
 	nextID   int64
 	active   map[int64]*Admission
 	linkLoad map[*fabric.Link]int
+	queue    []*waiter
 
 	// ContentionPenalty is the rank-score penalty per already-active
 	// plan on a link the candidate variant would use. Higher values
@@ -46,8 +71,28 @@ type Scheduler struct {
 	// device the candidate variant places work on. Admission steers new
 	// queries away from recently flaky devices without banning them.
 	FailurePenalty float64
+	// FailureDecay multiplies every device's failure score on each
+	// successful admission, so a device that stops failing regains work
+	// instead of being penalized forever. 1 disables decay.
+	FailureDecay float64
+	// MaxFailureScore caps a device's accumulated failure score so a
+	// long outage doesn't take unboundedly long to forgive.
+	MaxFailureScore float64
+	// MaxActive bounds concurrently admitted plans; 0 means unbounded
+	// (no admission control, the pre-lifecycle behavior).
+	MaxActive int
+	// QueueCap bounds the admit queue when MaxActive is set. A query
+	// arriving to a full queue is shed with ErrOverloaded. 0 means an
+	// unbounded queue.
+	QueueCap int
 
-	failures map[string]int // device name -> failovers recorded
+	failures map[string]float64 // device name -> decayed failover score
+
+	// ewmaService tracks mean admit->release wall time; ewmaCost tracks
+	// the mean optimizer estimate of released plans. Together they
+	// translate a queued plan's EstTime into projected wall-clock wait.
+	ewmaService time.Duration
+	ewmaCost    sim.VTime
 }
 
 // DefaultFailurePenalty is a fresh scheduler's per-failure score
@@ -55,31 +100,72 @@ type Scheduler struct {
 // contention, so flaky devices lose ties quickly.
 const DefaultFailurePenalty = 2.0
 
-// New returns an empty scheduler with fair sharing enabled.
+// DefaultFailureDecay forgives ~20% of a device's failure score per
+// admission: after one failover a device is back below half a rank
+// position of penalty within ~8 admitted queries.
+const DefaultFailureDecay = 0.8
+
+// DefaultMaxFailureScore caps the failure score; with the default decay
+// a saturated device is forgiven within ~20 admissions.
+const DefaultMaxFailureScore = 8.0
+
+// New returns an empty scheduler with fair sharing enabled and no
+// admission bound (set MaxActive to enable overload control).
 func New() *Scheduler {
 	return &Scheduler{
 		active:            make(map[int64]*Admission),
 		linkLoad:          make(map[*fabric.Link]int),
-		failures:          make(map[string]int),
+		failures:          make(map[string]float64),
 		ContentionPenalty: 1.0,
 		FailurePenalty:    DefaultFailurePenalty,
+		FailureDecay:      DefaultFailureDecay,
+		MaxFailureScore:   DefaultMaxFailureScore,
 		FairShare:         true,
 	}
 }
 
 // NoteFailover records that a query failed over away from the named
-// device; future admissions penalize variants placing work there.
+// device; future admissions penalize variants placing work there. The
+// score is capped so even a chronically flaky device is forgiven within
+// a bounded number of clean admissions once it recovers.
 func (s *Scheduler) NoteFailover(device string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.failures[device]++
+	score := s.failures[device] + 1
+	if s.MaxFailureScore > 0 && score > s.MaxFailureScore {
+		score = s.MaxFailureScore
+	}
+	s.failures[device] = score
 }
 
-// DeviceFailures reports the failovers recorded against a device.
+// DeviceFailures reports the failovers currently held against a device,
+// rounded; decay erodes the score between failures.
 func (s *Scheduler) DeviceFailures(device string) int {
+	return int(math.Round(s.FailureScore(device)))
+}
+
+// FailureScore reports the decayed failure score held against a device.
+func (s *Scheduler) FailureScore(device string) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.failures[device]
+}
+
+// decayFailuresLocked erodes every failure score by FailureDecay; called
+// once per successful admission so recovered devices regain work at a
+// rate proportional to how busy the system is.
+func (s *Scheduler) decayFailuresLocked() {
+	if s.FailureDecay <= 0 || s.FailureDecay >= 1 {
+		return
+	}
+	for dev, score := range s.failures {
+		score *= s.FailureDecay
+		if score < 0.05 {
+			delete(s.failures, dev)
+			continue
+		}
+		s.failures[dev] = score
+	}
 }
 
 // variantLinks collects the distinct links a variant's data crosses.
@@ -118,13 +204,75 @@ func variantOffline(p *plan.Physical) bool {
 // against current contention and recorded device failures: an idle
 // lower-ranked variant can win over a loaded or flaky top-ranked one.
 // Variants that place work on offline devices are inadmissible.
-func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
+//
+// When MaxActive is set and all slots are busy the query queues (FIFO).
+// Admission sheds with ErrOverloaded instead of queueing when the queue
+// is at QueueCap, or when ctx carries a deadline the projected queue
+// wait would already blow. A deadline or cancellation that fires while
+// queued also sheds. Shed queries hold no resources.
+func (s *Scheduler) Admit(ctx context.Context, variants []*plan.Physical) (*Admission, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("sched: no variants to admit")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Fast path: a free slot and nobody queued ahead.
+	if s.MaxActive <= 0 || (len(s.active) < s.MaxActive && len(s.queue) == 0) {
+		adm, err := s.admitLocked(variants)
+		s.mu.Unlock()
+		return adm, err
+	}
+	// All slots busy (or a queue has formed): shed or queue.
+	if s.QueueCap > 0 && len(s.queue) >= s.QueueCap {
+		nq, na := len(s.queue), len(s.active)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: admit queue full (%d queued, %d active)", ErrOverloaded, nq, na)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := s.projectedWaitLocked(); wait > 0 && time.Now().Add(wait).After(dl) {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: projected queue wait %v exceeds deadline", ErrOverloaded, wait.Round(time.Microsecond))
+		}
+	}
+	w := &waiter{variants: variants, ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
 
+	select {
+	case <-w.ready:
+		return w.adm, w.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: a releaser already granted us the slot.
+			// Hand it back to the caller, whose next ctx check unwinds.
+			s.mu.Unlock()
+			return w.adm, w.err
+		default:
+		}
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: deadline expired in admit queue", ErrOverloaded)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked scores the variants and reserves the winner's links.
+func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 	type scored struct {
 		idx  int
 		cost float64
@@ -138,12 +286,12 @@ func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
 		for _, l := range variantLinks(v) {
 			contention += s.linkLoad[l]
 		}
-		failed := 0
+		failed := 0.0
 		for _, name := range v.PlacedDevices() {
 			failed += s.failures[name]
 		}
 		cost := float64(i) + s.ContentionPenalty*float64(contention) +
-			s.FailurePenalty*float64(failed)
+			s.FailurePenalty*failed
 		scores = append(scores, scored{idx: i, cost: cost})
 	}
 	if len(scores) == 0 {
@@ -154,26 +302,62 @@ func (s *Scheduler) Admit(variants []*plan.Physical) (*Admission, error) {
 
 	s.nextID++
 	adm := &Admission{
-		ID:      s.nextID,
-		Plan:    chosen,
-		Variant: chosen.Variant,
-		links:   variantLinks(chosen),
+		ID:       s.nextID,
+		Plan:     chosen,
+		Variant:  chosen.Variant,
+		Cost:     chosen.EstTime,
+		links:    variantLinks(chosen),
+		admitted: time.Now(),
 	}
 	s.active[adm.ID] = adm
 	for _, l := range adm.links {
 		s.linkLoad[l]++
 	}
+	s.decayFailuresLocked()
 	s.rebalanceLocked()
 	return adm, nil
+}
+
+// projectedWaitLocked estimates how long a new arrival would sit in the
+// admit queue, from the EWMA of observed service times scaled by each
+// queued plan's optimizer cost estimate. Zero when there is no service
+// history yet (first queries are given the benefit of the doubt).
+func (s *Scheduler) projectedWaitLocked() time.Duration {
+	if s.MaxActive <= 0 || s.ewmaService <= 0 {
+		return 0
+	}
+	scale := func(p *plan.Physical) float64 {
+		if s.ewmaCost > 0 && p != nil && p.EstTime > 0 {
+			return float64(p.EstTime) / float64(s.ewmaCost)
+		}
+		return 1
+	}
+	// Work ahead of the new arrival, in units of mean service times: the
+	// running plans have on average half a service left; every queued
+	// plan needs a full one, weighted by its cost estimate.
+	ahead := 0.5 * float64(len(s.active))
+	for _, w := range s.queue {
+		ahead += scale(w.variants[0])
+	}
+	return time.Duration(ahead / float64(s.MaxActive) * float64(s.ewmaService))
 }
 
 // AdmitTraced is Admit plus an admission event on the trace: which
 // variant won, out of how many candidates, and what it placed where —
 // the placement decision a timeline reader needs to interpret the
-// stage tracks that follow. A nil trace reduces to plain Admit.
-func (s *Scheduler) AdmitTraced(variants []*plan.Physical, tr *obs.Trace) (*Admission, error) {
-	adm, err := s.Admit(variants)
+// stage tracks that follow. Shedding also leaves an event, so overload
+// is visible on the same timeline. A nil trace reduces to plain Admit.
+func (s *Scheduler) AdmitTraced(ctx context.Context, variants []*plan.Physical, tr *obs.Trace) (*Admission, error) {
+	adm, err := s.Admit(ctx, variants)
 	if err != nil {
+		if tr.Enabled() && errors.Is(err, ErrOverloaded) {
+			tr.AddEvent(obs.Event{
+				Name:   "shed",
+				Track:  "sched",
+				At:     0,
+				Detail: err.Error(),
+			})
+		}
 		return nil, err
 	}
 	if tr.Enabled() {
@@ -188,8 +372,9 @@ func (s *Scheduler) AdmitTraced(variants []*plan.Physical, tr *obs.Trace) (*Admi
 	return adm, nil
 }
 
-// Release returns an admission's resources and recomputes fair shares.
-// Releasing twice is a caller bug and panics.
+// Release returns an admission's resources, recomputes fair shares, and
+// hands freed slots to queued waiters in FIFO order. Releasing twice is
+// a caller bug and panics.
 func (s *Scheduler) Release(adm *Admission) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -203,7 +388,38 @@ func (s *Scheduler) Release(adm *Admission) {
 			delete(s.linkLoad, l)
 		}
 	}
+	if !adm.admitted.IsZero() {
+		s.observeServiceLocked(time.Since(adm.admitted), adm.Cost)
+	}
 	s.rebalanceLocked()
+	// Grant freed slots to waiters. The releaser admits on the waiter's
+	// behalf under the lock, so a concurrent fast-path Admit cannot
+	// steal the slot between signal and wake-up.
+	for len(s.queue) > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		w.adm, w.err = s.admitLocked(w.variants)
+		close(w.ready)
+	}
+}
+
+// observeServiceLocked folds one completed execution into the EWMAs.
+func (s *Scheduler) observeServiceLocked(dur time.Duration, cost sim.VTime) {
+	const keep = 7 // 0.7 old, 0.3 new
+	if dur > 0 {
+		if s.ewmaService <= 0 {
+			s.ewmaService = dur
+		} else {
+			s.ewmaService = (keep*s.ewmaService + (10-keep)*dur) / 10
+		}
+	}
+	if cost > 0 {
+		if s.ewmaCost <= 0 {
+			s.ewmaCost = cost
+		} else {
+			s.ewmaCost = (keep*s.ewmaCost + (10-keep)*cost) / 10
+		}
+	}
 }
 
 // rebalanceLocked applies fair-share rate limits to every tracked link.
@@ -244,6 +460,13 @@ func (s *Scheduler) ActiveCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.active)
+}
+
+// QueueDepth reports how many queries are parked in the admit queue.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // LinkLoad reports how many active plans use the link.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func twoNodeVariants(t *testing.T) (*fabric.Cluster, []*plan.Physical, []*plan.P
 func TestAdmitPicksTopVariantWhenIdle(t *testing.T) {
 	_, v0, _ := twoNodeVariants(t)
 	s := New()
-	adm, err := s.Admit(v0)
+	adm, err := s.Admit(context.Background(), v0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestAdmitTracedRecordsDecision(t *testing.T) {
 	_, v0, _ := twoNodeVariants(t)
 	s := New()
 	tr := obs.New()
-	adm, err := s.AdmitTraced(v0, tr)
+	adm, err := s.AdmitTraced(context.Background(), v0, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestAdmitTracedRecordsDecision(t *testing.T) {
 		t.Errorf("admit detail %q does not name chosen variant %q", evs[0].Detail, adm.Variant)
 	}
 	// Nil trace must behave exactly like Admit.
-	adm2, err := s.AdmitTraced(v0, nil)
+	adm2, err := s.AdmitTraced(context.Background(), v0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAdmitTracedRecordsDecision(t *testing.T) {
 }
 
 func TestAdmitRequiresVariants(t *testing.T) {
-	if _, err := New().Admit(nil); err == nil {
+	if _, err := New().Admit(context.Background(), nil); err == nil {
 		t.Error("empty admit succeeded")
 	}
 }
@@ -95,11 +96,11 @@ func TestFairShareLimitsAndRestores(t *testing.T) {
 	s := New()
 	// Admit the same node-0 variant list twice: both use node 0's host
 	// links, forcing shared-link limits.
-	a1, err := s.Admit(v0)
+	a1, err := s.Admit(context.Background(), v0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := s.Admit(v0)
+	a2, err := s.Admit(context.Background(), v0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestContentionSteersVariant(t *testing.T) {
 	s.ContentionPenalty = 10
 	var held []*Admission
 	for i := 0; i < 3; i++ {
-		a, err := s.Admit(v0[:1]) // force node-0 placement
+		a, err := s.Admit(context.Background(), v0[:1]) // force node-0 placement
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func TestContentionSteersVariant(t *testing.T) {
 	}
 	// Candidates: node-0 top variant first (better rank), node-1 next.
 	mixed := []*plan.Physical{v0[0], v1[0]}
-	a, err := s.Admit(mixed)
+	a, err := s.Admit(context.Background(), mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestContentionSteersVariant(t *testing.T) {
 func TestDoubleReleasePanics(t *testing.T) {
 	_, v0, _ := twoNodeVariants(t)
 	s := New()
-	a, err := s.Admit(v0)
+	a, err := s.Admit(context.Background(), v0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +175,8 @@ func TestFairShareDisabled(t *testing.T) {
 	c, v0, _ := twoNodeVariants(t)
 	s := New()
 	s.FairShare = false
-	a1, _ := s.Admit(v0)
-	a2, _ := s.Admit(v0)
+	a1, _ := s.Admit(context.Background(), v0)
+	a2, _ := s.Admit(context.Background(), v0)
 	shared := c.LinkBetween(fabric.DevStorageNIC, fabric.DevSwitch)
 	if shared.EffectiveBandwidth() != shared.Bandwidth {
 		t.Error("FairShare=false still limited the link")
@@ -187,8 +188,8 @@ func TestFairShareDisabled(t *testing.T) {
 func TestClearLimits(t *testing.T) {
 	c, v0, _ := twoNodeVariants(t)
 	s := New()
-	s.Admit(v0)
-	s.Admit(v0)
+	s.Admit(context.Background(), v0)
+	s.Admit(context.Background(), v0)
 	s.ClearLimits()
 	shared := c.LinkBetween(fabric.DevStorageNIC, fabric.DevSwitch)
 	if shared.EffectiveBandwidth() != shared.Bandwidth {

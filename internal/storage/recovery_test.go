@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -163,7 +164,7 @@ func TestScanRetriesCorruptRead(t *testing.T) {
 	inj.Arm(faults.Point{Kind: faults.CorruptBlob, Prob: 1, Budget: 2})
 	srv.Store().Faults = inj
 	var rows int64
-	stats, err := srv.Scan("lineitem", ScanSpec{}, func(b *columnar.Batch) error {
+	stats, err := srv.Scan(context.Background(), "lineitem", ScanSpec{}, func(b *columnar.Batch) error {
 		rows += int64(b.NumRows())
 		return nil
 	})
@@ -197,7 +198,7 @@ func TestScanFailsOnPersistentCorruption(t *testing.T) {
 	blob[len(blob)/2] ^= 0x01 // Get copies, so corrupt and write back
 	srv.Store().Put(key, blob)
 	emitted := 0
-	_, err = srv.Scan("lineitem", ScanSpec{}, func(*columnar.Batch) error {
+	_, err = srv.Scan(context.Background(), "lineitem", ScanSpec{}, func(*columnar.Batch) error {
 		emitted++
 		return nil
 	})

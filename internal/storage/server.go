@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,6 +56,17 @@ type ScanSpec struct {
 	// the engines set both together (nil = tracing off).
 	Trace *obs.Trace
 	Clock *obs.VClock
+	// StartSegment resumes the scan at the given segment index, skipping
+	// earlier segments without reading or charging for them. A partial
+	// restart sets it to the last completed checkpoint's watermark.
+	StartSegment int
+	// Progress, when non-nil, is called after each segment has been
+	// fully handled (emitted or pruned) with the index of the next
+	// segment — the watermark a restarted scan can resume from. With
+	// pushed-down pre-aggregation the watermark does not capture state
+	// still held by the storage processor; callers that checkpoint must
+	// not combine the two. Returning an error aborts the scan.
+	Progress func(nextSegment int) error
 }
 
 // DefaultBatchRows is the streaming granule when ScanSpec.BatchRows is
@@ -273,7 +285,14 @@ func (s *Server) Append(table string, b *columnar.Batch) error {
 // segment whose blob fails checksum verification (a corrupt replica or
 // an in-flight bit flip), re-charging the media for every extra read so
 // the recovery cost is visible in the meters and in ScanStats.
-func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) error) (stats ScanStats, err error) {
+//
+// The scan checks ctx between segments: a cancelled or deadline-expired
+// context stops the scan promptly with ctx's error, charging nothing
+// further.
+func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit func(*columnar.Batch) error) (stats ScanStats, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	recBefore := s.store.Recovery()
 	defer func() {
 		rec := s.store.Recovery().Sub(recBefore)
@@ -323,7 +342,10 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 	}
 
 	procStart := s.proc.Meter.Busy()
-	stats.SegmentsTotal = len(t.SegmentKeys)
+	stats.SegmentsTotal = len(t.SegmentKeys) - spec.StartSegment
+	if stats.SegmentsTotal < 0 {
+		stats.SegmentsTotal = 0
+	}
 
 	var pipe *scanPipe
 	if spec.Trace != nil {
@@ -352,7 +374,20 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 		return nil
 	}
 
+	progress := func(next int) error {
+		if spec.Progress == nil {
+			return nil
+		}
+		return spec.Progress(next)
+	}
+
 	for segIdx, key := range t.SegmentKeys {
+		if segIdx < spec.StartSegment {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		var seg *Segment
 		var batch *columnar.Batch
 		skip := false
@@ -378,6 +413,9 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 		}
 		if skip {
 			stats.SegmentsPruned++
+			if err := progress(segIdx + 1); err != nil {
+				return stats, err
+			}
 			continue
 		}
 
@@ -403,6 +441,9 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 					return stats, err
 				}
 			}
+			if err := progress(segIdx + 1); err != nil {
+				return stats, err
+			}
 			continue
 		}
 
@@ -421,6 +462,9 @@ func (s *Server) Scan(table string, spec ScanSpec, emit func(*columnar.Batch) er
 			if err := emitTracked(out); err != nil {
 				return stats, err
 			}
+		}
+		if err := progress(segIdx + 1); err != nil {
+			return stats, err
 		}
 	}
 

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -216,7 +217,7 @@ func TestServerCreateAppendScan(t *testing.T) {
 		t.Fatalf("meta = %+v", meta)
 	}
 	emit, got := collect(t)
-	stats, err := srv.Scan("lineitem", ScanSpec{}, emit)
+	stats, err := srv.Scan(context.Background(), "lineitem", ScanSpec{}, emit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestScanTraceSpans(t *testing.T) {
 		Trace:    tr,
 		Clock:    clock,
 	}
-	if _, err := srv.Scan("lineitem", spec, emit); err != nil {
+	if _, err := srv.Scan(context.Background(), "lineitem", spec, emit); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
@@ -279,7 +280,7 @@ func TestServerErrors(t *testing.T) {
 		t.Error("schema-mismatched Append succeeded")
 	}
 	emit, _ := collect(t)
-	if _, err := srv.Scan("nope", ScanSpec{}, emit); err == nil {
+	if _, err := srv.Scan(context.Background(), "nope", ScanSpec{}, emit); err == nil {
 		t.Error("scan of unknown table succeeded")
 	}
 }
@@ -293,7 +294,7 @@ func TestScanPushdownFilterAndProjection(t *testing.T) {
 		Filter:     expr.NewCmp(1, expr.Lt, columnar.IntValue(5)), // qty < 5
 		Pushdown:   true,
 	}
-	stats, err := srv.Scan("lineitem", spec, emit)
+	stats, err := srv.Scan(context.Background(), "lineitem", spec, emit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestScanPushdownFilterAndProjection(t *testing.T) {
 		t.Logf("shipped %v media %v", stats.ShippedBytes, stats.MediaBytes)
 	}
 	full, _ := collect(t)
-	fullStats, err := srv.Scan("lineitem", ScanSpec{}, func(b *columnar.Batch) error { return (*(&full))(b) })
+	fullStats, err := srv.Scan(context.Background(), "lineitem", ScanSpec{}, func(b *columnar.Batch) error { return (*(&full))(b) })
 	_ = fullStats
 	if err != nil {
 		t.Fatal(err)
@@ -331,7 +332,7 @@ func TestScanWithoutPushdownShipsFilterColumns(t *testing.T) {
 		Filter:     expr.NewCmp(1, expr.Lt, columnar.IntValue(5)),
 		Pushdown:   false,
 	}
-	stats, err := srv.Scan("lineitem", spec, emit)
+	stats, err := srv.Scan(context.Background(), "lineitem", spec, emit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestScanPushdownOnDumbProcessorFails(t *testing.T) {
 	srv := newTestServer(t, false)
 	loadTable(t, srv, 100)
 	emit, _ := collect(t)
-	_, err := srv.Scan("lineitem", ScanSpec{
+	_, err := srv.Scan(context.Background(), "lineitem", ScanSpec{
 		Filter:   expr.NewCmp(1, expr.Lt, columnar.IntValue(5)),
 		Pushdown: true,
 	}, emit)
@@ -369,7 +370,7 @@ func TestScanZoneMapPruning(t *testing.T) {
 		Filter:   expr.NewBetween(0, 2500, 2599), // inside segment 2 only
 		Pushdown: true,
 	}
-	stats, err := srv.Scan("lineitem", spec, emit)
+	stats, err := srv.Scan(context.Background(), "lineitem", spec, emit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestScanZoneMapPruning(t *testing.T) {
 	// Pruning disabled reads everything.
 	emit2, got2 := collect(t)
 	spec.DisablePruning = true
-	stats2, err := srv.Scan("lineitem", spec, emit2)
+	stats2, err := srv.Scan(context.Background(), "lineitem", spec, emit2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +409,7 @@ func TestScanPreAggAtStorage(t *testing.T) {
 		Pushdown: true,
 	}
 	emit, got := collect(t)
-	stats, err := srv.Scan("lineitem", spec, emit)
+	stats, err := srv.Scan(context.Background(), "lineitem", spec, emit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +442,7 @@ func TestScanChargesDevices(t *testing.T) {
 	loadTable(t, srv, 3000)
 	emit, _ := collect(t)
 	spec := ScanSpec{Filter: expr.NewCmp(1, expr.Lt, columnar.IntValue(10)), Pushdown: true}
-	if _, err := srv.Scan("lineitem", spec, emit); err != nil {
+	if _, err := srv.Scan(context.Background(), "lineitem", spec, emit); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Proc().Meter.Busy() <= 0 {
@@ -502,7 +503,7 @@ func TestScanStatsShippedAccounting(t *testing.T) {
 	srv := newTestServer(t, true)
 	loadTable(t, srv, 1000)
 	var sumBytes sim.Bytes
-	stats, err := srv.Scan("lineitem", ScanSpec{}, func(b *columnar.Batch) error {
+	stats, err := srv.Scan(context.Background(), "lineitem", ScanSpec{}, func(b *columnar.Batch) error {
 		sumBytes += sim.Bytes(b.ByteSize())
 		return nil
 	})
