@@ -41,7 +41,26 @@ var (
 		"per-query deadline for the E21 overload sweep (0 = experiment default)")
 	offeredLoad = flag.String("offered-load", "",
 		"comma-separated E21 burst sizes, e.g. 1,4,16 (empty = experiment default)")
+	workersFlag = flag.String("workers", "",
+		"comma-separated worker counts for the E22 parallelism sweep, e.g. 1,2,4,8 (empty = experiment default)")
 )
+
+// workerSweep translates -workers into E22's sweep; nil means the
+// experiment default.
+func workerSweep() ([]int, error) {
+	if *workersFlag == "" {
+		return nil, nil
+	}
+	var sweep []int
+	for _, s := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -workers entry %q", s)
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep, nil
+}
 
 // e21Options translates the command-line flags into E21's knobs.
 func e21Options() (experiments.E21Options, error) {
@@ -231,6 +250,17 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E22", "morsel-driven intra-query parallelism: speedup vs workers", func(rows int) (*experiments.Table, error) {
+			sweep, err := workerSweep()
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.E22Parallelism(rows, sweep)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -291,7 +321,7 @@ func writeTraceFile(path string, rows int) error {
 		obs.Process{Name: "volcano", Trace: r.VolcanoTrace})
 }
 
-func writeJSONFile(path string, rows int, entries []jsonEntry) error {
+func writeJSONFile(path string, rows int, workers []int, entries []jsonEntry) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -301,8 +331,9 @@ func writeJSONFile(path string, rows int, entries []jsonEntry) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		Rows    int         `json:"rows"`
+		Workers []int       `json:"workers,omitempty"`
 		Results []jsonEntry `json:"results"`
-	}{Rows: rows, Results: entries})
+	}{Rows: rows, Workers: workers, Results: entries})
 }
 
 func main() {
@@ -350,7 +381,15 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if err := writeJSONFile(*jsonPath, *rows, entries); err != nil {
+		sweep, err := workerSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if sweep == nil && (len(want) == 0 || want["E22"]) {
+			sweep = experiments.E22Workers
+		}
+		if err := writeJSONFile(*jsonPath, *rows, sweep, entries); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			failed = true
 		} else {

@@ -1,0 +1,144 @@
+package bufferpool
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// assertNoPoolLeaks fails the test if goroutines started during it are
+// still parked inside this package at cleanup time — a parallel scan
+// that abandons its workers mid-fetch would show up here.
+func assertNoPoolLeaks(t *testing.T) {
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			if !bytes.Contains(buf[:n], []byte("repro/internal/bufferpool.")) ||
+				!bytes.Contains(buf[:n], []byte("goroutine")) {
+				return
+			}
+			stale := false
+			for _, g := range bytes.Split(buf[:n], []byte("\n\n")) {
+				if bytes.Contains(g, []byte("repro/internal/bufferpool.(*Pool)")) &&
+					!bytes.Contains(g, []byte("assertNoPoolLeaks")) {
+					stale = true
+				}
+			}
+			if !stale {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutines still inside bufferpool:\n%s", buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// Parallel scan workers hammer the pool with overlapping Get/Unpin on a
+// shared segment set. Every worker must see the right bytes, the pool
+// must stay within its bookkeeping, and no goroutine may be left behind
+// (run under -race to check the pins/hits counters for tears).
+func TestPoolParallelScanWorkers(t *testing.T) {
+	assertNoPoolLeaks(t)
+	b := newBacking(128)
+	p := New(128*8, b.fetch) // room for 8 pages: real eviction pressure
+	const pages = 32
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i] = PageID(fmt.Sprintf("seg-%02d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks the whole table from a different phase,
+			// as work-stealing scan workers do.
+			for i := 0; i < pages; i++ {
+				id := ids[(i+w*4)%pages]
+				pg, err := p.Get(context.Background(), id)
+				if err != nil {
+					t.Errorf("worker %d: Get(%s): %v", w, id, err)
+					return
+				}
+				if len(pg.Data) != 128 || pg.Data[0] != byte(len(id)) {
+					t.Errorf("worker %d: wrong page bytes for %s", w, id)
+				}
+				p.Unpin(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*pages {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*pages)
+	}
+	// Everything was unpinned; the pool must be evictable back to empty.
+	for _, id := range ids {
+		if p.Contains(id) {
+			pg, err := p.Get(context.Background(), id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = pg
+			p.Unpin(id)
+		}
+	}
+}
+
+// A cancelled parallel scan must not leave fetches running or pins
+// held: workers that lose the race exit cleanly and later Gets still
+// work.
+func TestPoolParallelScanCancel(t *testing.T) {
+	assertNoPoolLeaks(t)
+	b := newBacking(64)
+	slow := func(ctx context.Context, id PageID) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+		return b.fetch(ctx, id)
+	}
+	p := New(64*64, slow)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				id := PageID(fmt.Sprintf("pg-%d-%d", w, i%16))
+				pg, err := p.Get(ctx, id)
+				if err != nil {
+					return // cancelled mid-fetch: fine, nothing held
+				}
+				_ = pg
+				p.Unpin(id)
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	// The pool is still usable after the abandoned scan.
+	pg, err := p.Get(context.Background(), "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Data) != 64 {
+		t.Errorf("page size = %d, want 64", len(pg.Data))
+	}
+	p.Unpin("after")
+}

@@ -4,9 +4,15 @@ import "fmt"
 
 // Batch is a horizontal slice of a table: one vector per schema column,
 // all the same length. Batches are the unit of flow through pipelines.
+//
+// The row count is stored explicitly so column-less batches (a schema
+// with zero fields, or a projection down to zero columns) still report
+// how many rows they stand for. For batches with columns the vectors
+// remain authoritative.
 type Batch struct {
 	schema *Schema
 	cols   []*Vector
+	rows   int
 }
 
 // NewBatch returns an empty batch for the schema with per-column capacity
@@ -20,7 +26,9 @@ func NewBatch(schema *Schema, capacity int) *Batch {
 }
 
 // BatchOf assembles a batch from pre-built vectors. All vectors must have
-// the same length and match the schema's types.
+// the same length and match the schema's types. A zero-field schema
+// yields an empty batch; use ZeroColumnBatch to carry a row count
+// without columns.
 func BatchOf(schema *Schema, cols ...*Vector) *Batch {
 	if len(cols) != schema.NumFields() {
 		panic(fmt.Sprintf("columnar: BatchOf got %d vectors for %d fields", len(cols), schema.NumFields()))
@@ -36,16 +44,33 @@ func BatchOf(schema *Schema, cols ...*Vector) *Batch {
 			panic(fmt.Sprintf("columnar: column %d has %d rows, expected %d", i, c.Len(), n))
 		}
 	}
-	return &Batch{schema: schema, cols: cols}
+	if n == -1 {
+		n = 0
+	}
+	return &Batch{schema: schema, cols: cols, rows: n}
+}
+
+// ZeroColumnBatch returns a column-less batch that stands for rows rows,
+// e.g. the carrier for a COUNT(*)-only scan where no column data needs
+// to move.
+func ZeroColumnBatch(schema *Schema, rows int) *Batch {
+	if schema.NumFields() != 0 {
+		panic(fmt.Sprintf("columnar: ZeroColumnBatch wants a zero-field schema, got %d fields", schema.NumFields()))
+	}
+	if rows < 0 {
+		panic("columnar: ZeroColumnBatch with negative row count")
+	}
+	return &Batch{schema: schema, rows: rows}
 }
 
 // Schema returns the batch's schema.
 func (b *Batch) Schema() *Schema { return b.schema }
 
-// NumRows reports the number of rows.
+// NumRows reports the number of rows. Batches with columns answer from
+// their vectors; column-less batches answer from the stored row count.
 func (b *Batch) NumRows() int {
 	if len(b.cols) == 0 {
-		return 0
+		return b.rows
 	}
 	return b.cols[0].Len()
 }
@@ -74,6 +99,7 @@ func (b *Batch) AppendRow(vals ...Value) {
 	for i, v := range vals {
 		b.cols[i].AppendValue(v)
 	}
+	b.rows++
 }
 
 // Row materializes row i as a slice of dynamically typed values. This is
@@ -94,7 +120,7 @@ func (b *Batch) Project(indices []int) *Batch {
 	for i, idx := range indices {
 		cols[i] = b.cols[idx]
 	}
-	return &Batch{schema: b.schema.Project(indices), cols: cols}
+	return &Batch{schema: b.schema.Project(indices), cols: cols, rows: b.NumRows()}
 }
 
 // Gather returns a batch with only the rows at the given indices.
@@ -103,7 +129,7 @@ func (b *Batch) Gather(indices []int) *Batch {
 	for i, c := range b.cols {
 		cols[i] = c.Gather(indices)
 	}
-	return &Batch{schema: b.schema, cols: cols}
+	return &Batch{schema: b.schema, cols: cols, rows: len(indices)}
 }
 
 // Filter returns a batch with only the rows whose bit is set in sel.
@@ -120,7 +146,7 @@ func (b *Batch) Slice(from, to int) *Batch {
 	for i, c := range b.cols {
 		cols[i] = c.Slice(from, to)
 	}
-	return &Batch{schema: b.schema, cols: cols}
+	return &Batch{schema: b.schema, cols: cols, rows: to - from}
 }
 
 // ByteSize estimates the in-memory footprint of all column data in bytes.
@@ -141,6 +167,7 @@ func (b *Batch) Clone() *Batch {
 			out.cols[c].AppendValue(b.cols[c].Value(i))
 		}
 	}
+	out.rows = b.NumRows()
 	return out
 }
 

@@ -1,0 +1,182 @@
+package columnar
+
+import (
+	"sync"
+	"testing"
+)
+
+// Regression tests for the zero-column row-count bug: a batch over a
+// schema with no fields used to report NumRows 0 (BatchOf's column scan
+// left n at its -1 sentinel), which silently dropped rows from
+// aggregate-only plans. Batches now carry an explicit row count.
+
+func TestBatchOfZeroFieldSchema(t *testing.T) {
+	empty := NewSchema()
+	b := BatchOf(empty)
+	if b.NumRows() != 0 {
+		t.Errorf("BatchOf(empty).NumRows() = %d, want 0", b.NumRows())
+	}
+	if b.NumCols() != 0 {
+		t.Errorf("NumCols = %d, want 0", b.NumCols())
+	}
+}
+
+func TestZeroColumnBatchCarriesRows(t *testing.T) {
+	empty := NewSchema()
+	b := ZeroColumnBatch(empty, 42)
+	if b.NumRows() != 42 {
+		t.Fatalf("NumRows = %d, want 42", b.NumRows())
+	}
+	if got := b.ByteSize(); got != 0 {
+		t.Errorf("ByteSize = %d, want 0 for a column-less batch", got)
+	}
+	c := b.Clone()
+	if c.NumRows() != 42 {
+		t.Errorf("Clone().NumRows() = %d, want 42", c.NumRows())
+	}
+	s := b.Slice(10, 30)
+	if s.NumRows() != 20 {
+		t.Errorf("Slice(10,30).NumRows() = %d, want 20", s.NumRows())
+	}
+}
+
+func TestProjectToZeroColumnsPreservesRows(t *testing.T) {
+	schema := NewSchema(Field{Name: "v", Type: Int64})
+	b := BatchOf(schema, FromInt64s([]int64{1, 2, 3, 4, 5}))
+	p := b.Project(nil)
+	if p.NumRows() != 5 {
+		t.Errorf("Project(nil).NumRows() = %d, want 5", p.NumRows())
+	}
+	g := b.Gather([]int{0, 2, 4}).Project(nil)
+	if g.NumRows() != 3 {
+		t.Errorf("Gather+Project NumRows = %d, want 3", g.NumRows())
+	}
+}
+
+func TestAppendRowOnColumnlessBatch(t *testing.T) {
+	b := BatchOf(NewSchema())
+	for i := 0; i < 7; i++ {
+		b.AppendRow()
+	}
+	if b.NumRows() != 7 {
+		t.Errorf("NumRows after 7 column-less AppendRow = %d, want 7", b.NumRows())
+	}
+}
+
+// Concurrent readers: parallel scan workers share decoded vectors and
+// selection bitmaps read-only. Slices alias the parent storage, so
+// concurrent slicing plus reads must be race-free (run under -race).
+
+func TestVectorConcurrentReadersAndSlicing(t *testing.T) {
+	n := 4096
+	ints := make([]int64, n)
+	var sum int64
+	for i := range ints {
+		ints[i] = int64(i)
+		sum += int64(i)
+	}
+	v := FromInt64s(ints)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*(n/8), (w+1)*(n/8)
+			s := v.Slice(lo, hi)
+			var part int64
+			for _, x := range s.Int64s() {
+				part += x
+			}
+			g := v.Gather([]int{lo, hi - 1})
+			if g.Len() != 2 || g.Int64s()[0] != int64(lo) {
+				t.Errorf("worker %d: gather mismatch", w)
+			}
+			if v.Value(lo).I != int64(lo) || v.IsNull(lo) {
+				t.Errorf("worker %d: point read mismatch", w)
+			}
+			_ = part
+		}(w)
+	}
+	wg.Wait()
+	// The shared vector is untouched by the concurrent slicing.
+	if v.Len() != n {
+		t.Fatalf("Len changed to %d", v.Len())
+	}
+	var again int64
+	for _, x := range v.Int64s() {
+		again += x
+	}
+	if again != sum {
+		t.Fatalf("sum changed: %d != %d", again, sum)
+	}
+}
+
+func TestBitmapConcurrentReaders(t *testing.T) {
+	n := 4096
+	bm := NewBitmap(n)
+	for i := 0; i < n; i += 3 {
+		bm.Set(i)
+	}
+	want := bm.Count()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c := bm.Count(); c != want {
+				t.Errorf("Count = %d, want %d", c, want)
+			}
+			if !bm.Get(0) || bm.Get(1) {
+				t.Error("point reads wrong")
+			}
+			idx := bm.Indices(nil)
+			if len(idx) != want {
+				t.Errorf("Indices len = %d, want %d", len(idx), want)
+			}
+			c := bm.Clone()
+			c.And(bm)
+			if c.Count() != want {
+				t.Errorf("Clone+And count = %d, want %d", c.Count(), want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Batches sliced by different goroutines must not interfere: each
+// worker filters its own slice of a shared batch, as the morsel scan
+// does per segment.
+func TestBatchConcurrentSliceAndFilter(t *testing.T) {
+	schema := NewSchema(
+		Field{Name: "k", Type: Int64},
+		Field{Name: "s", Type: String},
+	)
+	b := NewBatch(schema, 0)
+	for i := 0; i < 1024; i++ {
+		b.AppendRow(IntValue(int64(i)), StringValue("row"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*128, (w+1)*128
+			s := b.Slice(lo, hi)
+			sel := NewBitmap(s.NumRows())
+			for i := 0; i < s.NumRows(); i += 2 {
+				sel.Set(i)
+			}
+			f := s.Filter(sel)
+			if f.NumRows() != 64 {
+				t.Errorf("worker %d: filtered rows = %d, want 64", w, f.NumRows())
+			}
+			if f.Col(0).Int64s()[0] != int64(lo) {
+				t.Errorf("worker %d: first key = %d, want %d", w, f.Col(0).Int64s()[0], lo)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.NumRows() != 1024 {
+		t.Fatalf("shared batch mutated: %d rows", b.NumRows())
+	}
+}

@@ -62,6 +62,18 @@ type DataFlowEngine struct {
 	// returned in Result.Trace. Off by default: disabled tracing adds
 	// zero allocations to the per-batch hot path.
 	Tracing bool
+	// Workers > 1 enables intra-query morsel parallelism: the storage
+	// scan splits into per-segment morsels claimed by a worker pool, and
+	// every parallelizable flow stage runs as a pool of that many workers
+	// (clamped per stage to its device's replicated units). Results,
+	// stats and metered totals are identical to Workers == 1 — only the
+	// per-lane busy split, and therefore SimTime, changes. The one
+	// exception is parallel partial aggregation: each replica flushes its
+	// own partial state, so group-by plans ship a few extra KiB of
+	// partials per worker to the final merge. Serial passive resources
+	// (the storage media, network links) are never divided, so speedup
+	// saturates where the data path does.
+	Workers int
 
 	mu    sync.Mutex
 	stats map[string]plan.TableStats
@@ -200,6 +212,7 @@ func (e *DataFlowEngine) Execute(ctx context.Context, q *plan.Query) (*Result, e
 // surfaces as ErrDeadlineExceeded or ErrCancelled.
 func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int) (*Result, error) {
 	ctx = ctxOrBackground(ctx)
+	e.Scheduler.SetWorkers(e.Workers)
 	maxAttempts := e.MaxRecoveryAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = DefaultMaxRecoveryAttempts
@@ -285,21 +298,22 @@ func errorOrCtx(err error, ctx context.Context) error {
 }
 
 // meterDelta sums the link payload and bottleneck busy time accumulated
-// since before — the wasted work of one abandoned attempt.
-func (e *DataFlowEngine) meterDelta(before map[meterKey]sim.Snapshot) (sim.Bytes, sim.VTime) {
+// since before — the wasted work of one abandoned attempt. Busy time is
+// the effective (lane-divided) reading so replayed parallel work is not
+// over-counted against the wall clock.
+func (e *DataFlowEngine) meterDelta(before map[meterKey]meterSnap) (sim.Bytes, sim.VTime) {
 	var bytes sim.Bytes
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {
-		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
-		if delta.Busy > maxBusy {
-			maxBusy = delta.Busy
+		if _, busy := deviceDelta(d, before); busy > maxBusy {
+			maxBusy = busy
 		}
 	}
 	for _, l := range e.Cluster.Links() {
-		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		delta, busy := linkDelta(l, before)
 		bytes += delta.Bytes
-		if delta.Busy > maxBusy {
-			maxBusy = delta.Busy
+		if busy > maxBusy {
+			maxBusy = busy
 		}
 	}
 	return bytes, maxBusy
@@ -346,6 +360,7 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 	if err != nil {
 		return nil, err
 	}
+	spec.Workers = e.Workers
 
 	// Pushed-down aggregation accumulates inside the storage processor,
 	// out of reach of stage snapshots — no consistent cut exists, so such
@@ -416,7 +431,7 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 		if ckptEnabled {
 			ck = flow.NewCheckpointer()
 			var snapMu sync.Mutex
-			markSnaps := make(map[int]map[meterKey]sim.Snapshot)
+			markSnaps := make(map[int]map[meterKey]meterSnap)
 			ck.OnComplete = func(ep int) {
 				snapMu.Lock()
 				if s, ok := markSnaps[ep]; ok {
@@ -455,6 +470,7 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 			},
 			Stages:       stages,
 			Paths:        paths,
+			Workers:      e.Workers,
 			StageTimeout: e.StageTimeout,
 			Faults:       e.Faults,
 			Trace:        tr,
@@ -829,8 +845,12 @@ func (deliverStage) Process(b *columnar.Batch, emit flow.Emit) error {
 }
 func (deliverStage) Flush(flow.Emit) error { return nil }
 
-// buildStats derives the execution stats from meter deltas.
-func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]sim.Snapshot, flowRes flow.Result, scan storage.ScanStats, maxBatch sim.Bytes, res *Result) ExecStats {
+// buildStats derives the execution stats from meter deltas. Busy times
+// are effective readings: work charged to a device's positional lanes
+// is divided across its replicated units (fabric.EffectiveBusy), so
+// SimTime reflects worker-pool parallelism while the metered byte and
+// aggregate busy totals stay identical to a serial run.
+func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]meterSnap, flowRes flow.Result, scan storage.ScanStats, maxBatch sim.Bytes, res *Result) ExecStats {
 	st := ExecStats{
 		Engine:           "dataflow",
 		Variant:          ph.Variant,
@@ -845,26 +865,26 @@ func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]sim.S
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {
-		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
-		if delta.Busy > 0 {
-			st.DeviceBusy[d.Name] = delta.Busy
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+		_, busy := deviceDelta(d, before)
+		if busy > 0 {
+			st.DeviceBusy[d.Name] = busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 		}
 	}
 	cpu := ph.Path.CPU()
-	cpuDelta := cpu.Meter.Snapshot().Sub(before[meterKey{false, cpu.Name}])
+	cpuDelta, cpuBusy := deviceDelta(cpu, before)
 	st.CPUBytes = cpuDelta.Bytes
-	st.CPUBusy = cpuDelta.Busy
+	st.CPUBusy = cpuBusy
 	var latency sim.VTime
 	for _, l := range e.Cluster.Links() {
-		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		delta, busy := linkDelta(l, before)
 		if delta.Bytes > 0 {
 			st.LinkBytes[l.Name] = delta.Bytes
 			st.MovedBytes += delta.Bytes
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 			latency += l.Latency
 		}

@@ -64,6 +64,7 @@ func (e *DataFlowEngine) ExecuteJoin(ctx context.Context, jq JoinQuery) (*Result
 		ScatterDevice: scatter,
 		ScatterOnNIC:  scatter.Kind == fabric.KindSmartNIC,
 		BatchRows:     storage.DefaultBatchRows,
+		Workers:       e.Workers,
 	}
 	for i := 0; i < nodes; i++ {
 		cfg.Nodes = append(cfg.Nodes, netsim.JoinNode{
@@ -106,7 +107,7 @@ func (e *DataFlowEngine) ExecuteJoin(ctx context.Context, jq JoinQuery) (*Result
 // exchange does the shipping.
 func (e *DataFlowEngine) materialize(ctx context.Context, table string) ([]*columnar.Batch, storage.ScanStats, error) {
 	var out []*columnar.Batch
-	st, err := e.Storage.Scan(ctx, table, storage.ScanSpec{}, func(b *columnar.Batch) error {
+	st, err := e.Storage.Scan(ctx, table, storage.ScanSpec{Workers: e.Workers}, func(b *columnar.Batch) error {
 		out = append(out, b)
 		return nil
 	})
@@ -119,7 +120,7 @@ func (e *DataFlowEngine) materialize(ctx context.Context, table string) ([]*colu
 	return out, st, nil
 }
 
-func (e *DataFlowEngine) joinStats(before map[meterKey]sim.Snapshot, res *Result) ExecStats {
+func (e *DataFlowEngine) joinStats(before map[meterKey]meterSnap, res *Result) ExecStats {
 	st := ExecStats{
 		Engine:     "dataflow",
 		Variant:    "distributed-join",
@@ -129,26 +130,26 @@ func (e *DataFlowEngine) joinStats(before map[meterKey]sim.Snapshot, res *Result
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {
-		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
-		if delta.Busy > 0 {
-			st.DeviceBusy[d.Name] = delta.Busy
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+		delta, busy := deviceDelta(d, before)
+		if busy > 0 {
+			st.DeviceBusy[d.Name] = busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 		}
 		if d.Kind == fabric.KindCPU {
 			st.CPUBytes += delta.Bytes
-			st.CPUBusy += delta.Busy
+			st.CPUBusy += busy
 		}
 	}
 	var latency sim.VTime
 	for _, l := range e.Cluster.Links() {
-		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		delta, busy := linkDelta(l, before)
 		if delta.Bytes > 0 {
 			st.LinkBytes[l.Name] = delta.Bytes
 			st.MovedBytes += delta.Bytes
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 			latency += l.Latency
 		}
@@ -175,6 +176,7 @@ func (e *VolcanoEngine) ExecuteJoin(ctx context.Context, jq JoinQuery) (*Result,
 		Inner: &exec.HashJoinIter{
 			Build: buildIt, Probe: probeIt,
 			BuildKey: jq.BuildKey, ProbeKey: jq.ProbeKey,
+			Workers: e.Workers,
 		},
 		CPU: e.cpu,
 	}

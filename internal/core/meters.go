@@ -12,38 +12,63 @@ type meterKey struct {
 	name string
 }
 
+// meterSnap captures one meter plus its per-lane busy split, so a later
+// delta can divide replicated-lane work across a device's units
+// (fabric.EffectiveBusy) while keeping the aggregate totals exact.
+type meterSnap struct {
+	m     sim.Snapshot
+	lanes []sim.VTime
+}
+
 // snapshotClusterMeters captures every device and link meter so a later
 // delta isolates one execution's work from the cluster's running totals.
-func snapshotClusterMeters(c *fabric.Cluster) map[meterKey]sim.Snapshot {
-	out := make(map[meterKey]sim.Snapshot)
+func snapshotClusterMeters(c *fabric.Cluster) map[meterKey]meterSnap {
+	out := make(map[meterKey]meterSnap)
 	for _, d := range c.Devices() {
-		out[meterKey{false, d.Name}] = d.Meter.Snapshot()
+		out[meterKey{false, d.Name}] = meterSnap{m: d.Meter.Snapshot(), lanes: d.LaneBusy()}
 	}
 	for _, l := range c.Links() {
-		out[meterKey{true, l.Name}] = l.Meter.Snapshot()
+		out[meterKey{true, l.Name}] = meterSnap{m: l.Meter.Snapshot(), lanes: l.LaneBusy()}
 	}
 	return out
 }
 
-func (e *DataFlowEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+func (e *DataFlowEngine) snapshotMeters() map[meterKey]meterSnap {
 	return snapshotClusterMeters(e.Cluster)
 }
 
-func (e *VolcanoEngine) snapshotMeters() map[meterKey]sim.Snapshot {
+func (e *VolcanoEngine) snapshotMeters() map[meterKey]meterSnap {
 	return snapshotClusterMeters(e.Cluster)
+}
+
+// deviceDelta returns a device's meter delta since before, plus its
+// effective busy time: work charged to positional lanes is divided
+// across the device's replicated units, everything else stays serial.
+func deviceDelta(d *fabric.Device, before map[meterKey]meterSnap) (sim.Snapshot, sim.VTime) {
+	prev := before[meterKey{false, d.Name}]
+	delta := d.Meter.Snapshot().Sub(prev.m)
+	return delta, fabric.EffectiveBusy(delta.Busy, prev.lanes, d.LaneBusy())
+}
+
+// linkDelta is deviceDelta for links; only multi-queue links (flash
+// channels, DMA queues) ever split, network links stay serial.
+func linkDelta(l *fabric.Link, before map[meterKey]meterSnap) (sim.Snapshot, sim.VTime) {
+	prev := before[meterKey{true, l.Name}]
+	delta := l.Meter.Snapshot().Sub(prev.m)
+	return delta, fabric.EffectiveBusy(delta.Busy, prev.lanes, l.LaneBusy())
 }
 
 // sampleMeterSeries snapshots every cluster meter's query-lifecycle
 // delta into named trace series: one point at virtual time 0 and one at
 // the trace makespan. Deterministic: devices and links iterate in the
 // cluster's fixed order. Meters that did no work are skipped.
-func sampleMeterSeries(c *fabric.Cluster, tr *obs.Trace, before map[meterKey]sim.Snapshot) {
+func sampleMeterSeries(c *fabric.Cluster, tr *obs.Trace, before map[meterKey]meterSnap) {
 	if !tr.Enabled() {
 		return
 	}
 	mk := tr.Makespan()
 	for _, d := range c.Devices() {
-		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
+		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}].m)
 		if delta.Bytes == 0 && delta.Busy == 0 {
 			continue
 		}
@@ -53,7 +78,7 @@ func sampleMeterSeries(c *fabric.Cluster, tr *obs.Trace, before map[meterKey]sim
 		tr.Sample("meter."+d.Name+".busy", "vns", mk, float64(delta.Busy))
 	}
 	for _, l := range c.Links() {
-		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}].m)
 		if delta.Bytes == 0 && delta.Messages == 0 {
 			continue
 		}

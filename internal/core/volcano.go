@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufferpool"
 	"repro/internal/columnar"
@@ -33,6 +34,15 @@ type VolcanoEngine struct {
 	// concurrency factor the dataflow engine's staged pipeline is
 	// measured against. Tracing assumes Execute calls do not overlap.
 	Tracing bool
+	// Workers > 1 parallelizes the fetch/decode front of the pull loop:
+	// a pool of that many workers (clamped to the CPU's cores) prefetches
+	// segments through the buffer pool and decodes them on per-core
+	// lanes, delivering batches to the iterator tree in segment order.
+	// The operators above the scan stay serial — the pull model gives
+	// them no independent work units — which is exactly why the baseline
+	// scales worse than the dataflow engine (E22). Results and metered
+	// totals are identical to Workers == 1. Tracing forces serial.
+	Workers int
 
 	node int
 	cpu  *fabric.Device
@@ -220,41 +230,56 @@ func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, er
 	segIdx := 0
 	var maxDecoded sim.Bytes
 	dramToCPU := e.Cluster.LinkBetween(e.dram, e.cpu.Name)
-	var it exec.Iterator = exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if segIdx >= len(meta.SegmentKeys) {
-			return nil, nil
-		}
-		key := meta.SegmentKeys[segIdx]
-		segIdx++
-		page, err := e.Pool.Get(ctx, bufferpool.PageID(key))
-		if err != nil {
-			return nil, err
-		}
-		defer e.Pool.Unpin(bufferpool.PageID(key))
-		seg, err := storage.UnmarshalSegment(page.Data)
-		if err != nil {
-			return nil, err
-		}
-		// Decode (checksum + decompress) happens on the compute CPU in
-		// the legacy model.
-		pn := sim.Bytes(len(page.Data))
-		e.span("decode", e.cpu.Name, obs.SpanScan, e.cpu.Charge(fabric.OpDecompress, pn), pn)
-		batch, err := seg.Decode()
-		if err != nil {
-			return nil, err
-		}
-		if n := sim.Bytes(batch.ByteSize()); n > maxDecoded {
-			maxDecoded = n
-		}
-		if dramToCPU != nil {
-			bn := sim.Bytes(batch.ByteSize())
-			e.span("xfer", dramToCPU.Name, obs.SpanTransfer, dramToCPU.Transfer(bn), bn)
-		}
-		return batch, nil
-	})
+	workers := e.Workers
+	if u := e.cpu.Units(); workers > u {
+		workers = u
+	}
+	if e.Tracing {
+		// The serial span chain cannot describe overlapped fetches.
+		workers = 1
+	}
+	var it exec.Iterator
+	if workers > 1 {
+		scan, cleanup := e.parallelScan(ctx, meta, workers, &maxDecoded, dramToCPU)
+		defer cleanup()
+		it = scan
+	} else {
+		it = exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if segIdx >= len(meta.SegmentKeys) {
+				return nil, nil
+			}
+			key := meta.SegmentKeys[segIdx]
+			segIdx++
+			page, err := e.Pool.Get(ctx, bufferpool.PageID(key))
+			if err != nil {
+				return nil, err
+			}
+			defer e.Pool.Unpin(bufferpool.PageID(key))
+			seg, err := storage.UnmarshalSegment(page.Data)
+			if err != nil {
+				return nil, err
+			}
+			// Decode (checksum + decompress) happens on the compute CPU in
+			// the legacy model.
+			pn := sim.Bytes(len(page.Data))
+			e.span("decode", e.cpu.Name, obs.SpanScan, e.cpu.Charge(fabric.OpDecompress, pn), pn)
+			batch, err := seg.Decode()
+			if err != nil {
+				return nil, err
+			}
+			if n := sim.Bytes(batch.ByteSize()); n > maxDecoded {
+				maxDecoded = n
+			}
+			if dramToCPU != nil {
+				bn := sim.Bytes(batch.ByteSize())
+				e.span("xfer", dramToCPU.Name, obs.SpanTransfer, dramToCPU.Transfer(bn), bn)
+			}
+			return batch, nil
+		})
+	}
 
 	// Operator tree, all on the CPU.
 	charge := func(in exec.Iterator, op fabric.OpClass, name string) exec.Iterator {
@@ -300,9 +325,103 @@ func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, er
 	return res, nil
 }
 
+// parallelScan is the morsel-parallel front of the pull loop: workers
+// claim segment indices from a shared counter, pull each through the
+// buffer pool and decode it on a per-core lane, and the returned
+// iterator hands batches to the operator tree in segment order via a
+// reorder buffer, so the tree sees exactly the serial stream. The
+// cleanup func unwinds the workers; callers must run it before
+// returning (a LIMIT may abandon the iterator mid-stream, and the
+// workers must not outlive the query).
+func (e *VolcanoEngine) parallelScan(ctx context.Context, meta *storage.TableMeta, workers int, maxDecoded *sim.Bytes, dramToCPU *fabric.Link) (exec.Iterator, func()) {
+	type item struct {
+		idx   int
+		batch *columnar.Batch
+		err   error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	var next atomic.Int64
+	results := make(chan item, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= len(meta.SegmentKeys) || ctx.Err() != nil {
+					return
+				}
+				b, err := e.fetchSegment(ctx, meta.SegmentKeys[idx], idx%workers)
+				select {
+				case results <- item{idx: idx, batch: b, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+	cleanup := func() {
+		cancel()
+		for range results { // unblock senders until the pool drains
+		}
+	}
+
+	pend := make(map[int]item, workers)
+	want := 0
+	return exec.NewFuncScan(meta.Schema, func() (*columnar.Batch, error) {
+		for {
+			if want >= len(meta.SegmentKeys) {
+				return nil, nil
+			}
+			if it, ok := pend[want]; ok {
+				delete(pend, want)
+				want++
+				if it.err != nil {
+					return nil, it.err
+				}
+				if n := sim.Bytes(it.batch.ByteSize()); n > *maxDecoded {
+					*maxDecoded = n
+				}
+				if dramToCPU != nil {
+					dramToCPU.Transfer(sim.Bytes(it.batch.ByteSize()))
+				}
+				return it.batch, nil
+			}
+			r, ok := <-results
+			if !ok {
+				// Workers bailed out early; the context says why.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return nil, nil
+			}
+			pend[r.idx] = r
+		}
+	}), cleanup
+}
+
+// fetchSegment pulls one segment through the buffer pool and decodes it
+// on the CPU, charging the decode to the given per-core lane.
+func (e *VolcanoEngine) fetchSegment(ctx context.Context, key string, lane int) (*columnar.Batch, error) {
+	page, err := e.Pool.Get(ctx, bufferpool.PageID(key))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Pool.Unpin(bufferpool.PageID(key))
+	seg, err := storage.UnmarshalSegment(page.Data)
+	if err != nil {
+		return nil, err
+	}
+	e.cpu.ChargeLane(fabric.OpDecompress, sim.Bytes(len(page.Data)), lane)
+	return seg.Decode()
+}
+
 // buildStats mirrors the data-flow engine's accounting so results are
-// directly comparable.
-func (e *VolcanoEngine) buildStats(before map[meterKey]sim.Snapshot, res *Result) ExecStats {
+// directly comparable. Busy times are effective readings (lane work
+// divided across a device's units; see fabric.EffectiveBusy).
+func (e *VolcanoEngine) buildStats(before map[meterKey]meterSnap, res *Result) ExecStats {
 	st := ExecStats{
 		Engine:     "volcano",
 		LinkBytes:  make(map[string]sim.Bytes),
@@ -311,25 +430,25 @@ func (e *VolcanoEngine) buildStats(before map[meterKey]sim.Snapshot, res *Result
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {
-		delta := d.Meter.Snapshot().Sub(before[meterKey{false, d.Name}])
-		if delta.Busy > 0 {
-			st.DeviceBusy[d.Name] = delta.Busy
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+		_, busy := deviceDelta(d, before)
+		if busy > 0 {
+			st.DeviceBusy[d.Name] = busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 		}
 	}
-	cpuDelta := e.cpu.Meter.Snapshot().Sub(before[meterKey{false, e.cpu.Name}])
+	cpuDelta, cpuBusy := deviceDelta(e.cpu, before)
 	st.CPUBytes = cpuDelta.Bytes
-	st.CPUBusy = cpuDelta.Busy
+	st.CPUBusy = cpuBusy
 	var latency sim.VTime
 	for _, l := range e.Cluster.Links() {
-		delta := l.Meter.Snapshot().Sub(before[meterKey{true, l.Name}])
+		delta, busy := linkDelta(l, before)
 		if delta.Bytes > 0 {
 			st.LinkBytes[l.Name] = delta.Bytes
 			st.MovedBytes += delta.Bytes
-			if delta.Busy > maxBusy {
-				maxBusy = delta.Busy
+			if busy > maxBusy {
+				maxBusy = busy
 			}
 		}
 	}

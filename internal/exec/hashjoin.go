@@ -119,9 +119,10 @@ func (t *HashTable) Probe(probe *columnar.Batch, probeKey int) *columnar.Batch {
 
 // BuildStage accumulates build-side batches into a hash table; it is a
 // terminal stage (emits nothing), used to run the build side as its own
-// pipeline before probing starts.
+// pipeline before probing starts. Give it a PartitionedHashTable to
+// build each batch in parallel across key partitions.
 type BuildStage struct {
-	Table *HashTable
+	Table JoinTable
 }
 
 // Name implements flow.Stage.
@@ -140,7 +141,7 @@ func (s *BuildStage) Flush(flow.Emit) error { return nil }
 // emitting joined rows. With a small build table this stage can live on
 // a smart NIC (Section 4.4's join-on-the-NIC).
 type HashJoinStage struct {
-	Table    *HashTable
+	Table    JoinTable
 	ProbeKey int
 }
 

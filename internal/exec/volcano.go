@@ -101,13 +101,16 @@ func (it *ProjectIter) Next() (*columnar.Batch, error) {
 
 // HashJoinIter is the blocking Volcano join: the build side is drained
 // into a hash table on the first Next, then the probe side streams.
+// Workers > 1 builds a partitioned table in parallel (same matches,
+// same order; see PartitionedHashTable).
 type HashJoinIter struct {
 	Build    Iterator
 	Probe    Iterator
 	BuildKey int
 	ProbeKey int
+	Workers  int
 
-	table *HashTable
+	table JoinTable
 }
 
 // Schema implements Iterator.
@@ -118,7 +121,11 @@ func (it *HashJoinIter) Schema() *columnar.Schema {
 // Next implements Iterator.
 func (it *HashJoinIter) Next() (*columnar.Batch, error) {
 	if it.table == nil {
-		it.table = NewHashTable(it.Build.Schema(), it.BuildKey)
+		if it.Workers > 1 {
+			it.table = NewPartitionedHashTable(it.Build.Schema(), it.BuildKey, it.Workers)
+		} else {
+			it.table = NewHashTable(it.Build.Schema(), it.BuildKey)
+		}
 		for {
 			b, err := it.Build.Next()
 			if err != nil {

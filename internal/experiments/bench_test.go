@@ -29,3 +29,11 @@ func BenchmarkE21Lifecycle(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE22Parallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := E22Parallelism(40000, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestE22Parallelism checks the acceptance criteria for morsel-driven
+// intra-query parallelism: at four workers the dataflow engine is at
+// least 2x its single-worker time on the scan-heavy workload, scaling
+// is near-linear until the serial media path saturates (so eight
+// workers add little over four), and dataflow beats the pull baseline
+// at every worker count. E22Parallelism itself verifies that rows and
+// metered byte totals are identical at every worker count.
+func TestE22Parallelism(t *testing.T) {
+	res, err := E22Parallelism(160_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		t.Log(row)
+	}
+	for i, w := range res.Workers {
+		t.Logf("w=%d dataflow speedup %.2f volcano speedup %.2f (df %v vo %v)",
+			w, res.DataFlowSpeedup[i], res.VolcanoSpeedup[i], res.DataFlowSim[i], res.VolcanoSim[i])
+	}
+
+	idx := func(w int) int {
+		for i, ww := range res.Workers {
+			if ww == w {
+				return i
+			}
+		}
+		t.Fatalf("worker count %d not in sweep %v", w, res.Workers)
+		return -1
+	}
+
+	// >=2x at four workers.
+	if s := res.DataFlowSpeedup[idx(4)]; s < 2.0 {
+		t.Errorf("dataflow speedup at 4 workers = %.2f, want >= 2.0", s)
+	}
+	// Near-linear at two workers: at least 1.6x.
+	if s := res.DataFlowSpeedup[idx(2)]; s < 1.6 {
+		t.Errorf("dataflow speedup at 2 workers = %.2f, want >= 1.6 (near-linear)", s)
+	}
+	// Saturation: once the serial media link floors the scan, doubling
+	// workers again buys almost nothing.
+	gain := res.DataFlowSpeedup[idx(8)] / res.DataFlowSpeedup[idx(4)]
+	if gain > 1.25 {
+		t.Errorf("dataflow 4->8 workers still gained %.2fx, want saturation (<= 1.25x)", gain)
+	}
+	// Dataflow beats the pull baseline at every worker count.
+	for i, w := range res.Workers {
+		if res.DataFlowSim[i] >= res.VolcanoSim[i] {
+			t.Errorf("at %d workers dataflow (%v) is not faster than volcano (%v)",
+				w, res.DataFlowSim[i], res.VolcanoSim[i])
+		}
+	}
+	// Speedups never regress below 1 (more workers never slower).
+	for i, w := range res.Workers {
+		if res.DataFlowSpeedup[i] < 0.99 {
+			t.Errorf("dataflow at %d workers slower than serial (speedup %.2f)", w, res.DataFlowSpeedup[i])
+		}
+		if res.VolcanoSpeedup[i] < 0.99 {
+			t.Errorf("volcano at %d workers slower than serial (speedup %.2f)", w, res.VolcanoSpeedup[i])
+		}
+	}
+	if res.Rows <= 0 {
+		t.Fatalf("E22 returned no rows")
+	}
+}

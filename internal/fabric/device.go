@@ -71,8 +71,15 @@ type Device struct {
 	// placed on this device (paper Section 3.3: in-path processing must
 	// be mostly stateless). Zero means unbounded (CPUs).
 	StateBudget sim.Bytes
+	// Parallelism is the number of concurrent processing units the
+	// device exposes: cores on a CPU, flash channels behind an SSD
+	// processor, packet pipelines on a NIC. Worker pools size themselves
+	// by it, and lane-charged work on distinct units overlaps in virtual
+	// time. Zero or one means strictly serial.
+	Parallelism int
 	Meter       sim.Meter
 
+	lanes   laneMeter
 	offline atomic.Bool
 }
 
@@ -108,6 +115,39 @@ func (d *Device) Charge(op OpClass, n sim.Bytes) sim.VTime {
 	d.Meter.Add(sim.Snapshot{Bytes: n, Busy: t, Ops: 1})
 	return t
 }
+
+// Units reports the device's effective parallelism, never less than 1.
+func (d *Device) Units() int {
+	if d.Parallelism > 1 {
+		return d.Parallelism
+	}
+	return 1
+}
+
+// ChargeLane is Charge executed on one of the device's parallel units.
+// The main meter receives the identical charge — totals are unchanged —
+// and the lane additionally accumulates the busy time so engines can
+// compute an overlapped makespan (see EffectiveBusy). Lanes are
+// positional (callers derive them from sequence numbers, not goroutine
+// identity) so seeded runs meter deterministically; lane indexes wrap
+// at Units().
+func (d *Device) ChargeLane(op OpClass, n sim.Bytes, lane int) sim.VTime {
+	t := d.Charge(op, n)
+	if lane < 0 {
+		lane = -lane
+	}
+	d.lanes.add(lane%d.Units(), t)
+	return t
+}
+
+// LaneBusy returns a consistent snapshot of per-lane busy time. Lanes
+// only exist once ChargeLane has touched them; a strictly serial
+// history returns an empty slice.
+func (d *Device) LaneBusy() []sim.VTime { return d.lanes.snapshot() }
+
+// ResetLanes clears lane accounting (the main meter is reset
+// separately via Meter.Reset).
+func (d *Device) ResetLanes() { d.lanes.reset() }
 
 // ChargeSetup accounts for one kernel installation on the device and
 // returns its cost.

@@ -53,11 +53,18 @@ type Link struct {
 	A, B      string // endpoint device names
 	Bandwidth sim.Rate
 	Latency   sim.VTime
-	Meter     sim.Meter
+	// Parallelism is the number of independent channels the link can
+	// drive concurrently (flash channels on the SSD-internal media path,
+	// DMA queues on a host bus). Zero or one models a serial wire —
+	// network links stay serial, which is what makes scan scaling
+	// flatten once the wire saturates.
+	Parallelism int
+	Meter       sim.Meter
 
 	mu    sync.Mutex
 	limit sim.Rate // 0 = unlimited
 	fault func() error
+	lanes laneMeter
 }
 
 // SetFaultCheck installs a hook consulted once per data transfer; a
@@ -108,6 +115,51 @@ func (l *Link) Transfer(n sim.Bytes) sim.VTime {
 	l.Meter.Add(sim.Snapshot{Bytes: n, Busy: t, Ops: 1})
 	return t
 }
+
+// Units reports the link's effective channel parallelism, never less
+// than 1.
+func (l *Link) Units() int {
+	if l.Parallelism > 1 {
+		return l.Parallelism
+	}
+	return 1
+}
+
+// TransferLane is Transfer executed on one of the link's parallel
+// channels. The main meter receives the identical charge — totals are
+// unchanged — and the lane accumulates busy time for overlapped
+// makespan computation (see EffectiveBusy). Lane indexes are positional
+// and wrap at Units().
+func (l *Link) TransferLane(n sim.Bytes, lane int) sim.VTime {
+	t := l.Transfer(n)
+	if lane < 0 {
+		lane = -lane
+	}
+	l.lanes.add(lane%l.Units(), t)
+	return t
+}
+
+// TransferQD is Transfer for links whose protocol keeps several
+// commands in flight (an NVMe submission queue): the main meter gets
+// the identical charge as Transfer — totals never change — but only the
+// per-command latency lands on the lane, so EffectiveBusy overlaps
+// latency across up to Units() outstanding requests while the
+// bandwidth term stays a serial resource shared by every lane. With a
+// single lane in use this is indistinguishable from Transfer.
+func (l *Link) TransferQD(n sim.Bytes, lane int) sim.VTime {
+	t := l.Transfer(n)
+	if lane < 0 {
+		lane = -lane
+	}
+	l.lanes.add(lane%l.Units(), l.Latency)
+	return t
+}
+
+// LaneBusy returns a consistent snapshot of per-channel busy time.
+func (l *Link) LaneBusy() []sim.VTime { return l.lanes.snapshot() }
+
+// ResetLanes clears lane accounting.
+func (l *Link) ResetLanes() { l.lanes.reset() }
 
 // Message accounts for one small control message (credit grant,
 // coherency invalidation) crossing the link. Control messages cost one

@@ -137,7 +137,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	t.AddDevice(proc)
 	t.AddDevice(newNIC(DevStorageNIC, ethBW, cfg.SmartNICs))
-	t.Connect(DevStorageMed, DevStorageProc, LinkNVMe, NVMeBandwidth, NVMeLatency)
+	t.Connect(DevStorageMed, DevStorageProc, LinkNVMe, NVMeBandwidth, NVMeLatency).Parallelism = NVMeQueueDepth
 	t.Connect(DevStorageProc, DevStorageNIC, LinkPCIe5, PCIeBandwidth[LinkPCIe5], PCIeLatency)
 
 	// Switch.

@@ -58,6 +58,11 @@ var (
 	TCPLatency     = 30 * sim.Microsecond
 	NVMeLatency    = 80 * sim.Microsecond
 	ObjectLatency  = 4 * sim.Millisecond
+	// NVMeQueueDepth is how many outstanding commands the flash media
+	// link services concurrently: command latency overlaps across the
+	// queue (Link.TransferQD) while sequential bandwidth stays a serial
+	// resource shared by every request.
+	NVMeQueueDepth = 8
 	NUMAExtra      = 60 * sim.Nanosecond // added when crossing sockets (Section 5.1)
 	KernelSetupCPU = sim.VTime(0)        // CPUs run ISA code; no install step
 	KernelSetupAcc = 5 * sim.Microsecond // register programming + logic install (Section 7.2)
@@ -149,14 +154,29 @@ func switchCaps(line sim.Rate) Capability {
 	}
 }
 
+// Default device parallelism. These count replicated processing units a
+// single query stream cannot saturate alone: SSD compute engines over
+// the flash channels, packet pipelines on a DPU, functional units at
+// the memory controller. The passive resources next to them (media,
+// wires, switches) stay serial, so lane-divided device busy is always
+// floored by the honest aggregate bandwidth of the path — that floor is
+// where worker scaling flattens.
+const (
+	SmartSSDUnits   = 4
+	SmartNICUnits   = 4
+	NearMemoryUnits = 2
+)
+
 // NewCPU builds a CPU device with the given number of cores. Rates scale
-// with cores up to the memory-bandwidth ceiling handled by memdev.
+// with cores up to the memory-bandwidth ceiling handled by memdev, and
+// Parallelism mirrors the core count so worker pools size themselves to
+// the hardware.
 func NewCPU(name string, cores int) *Device {
 	caps := cpuCaps()
 	for op, r := range caps {
 		caps[op] = r * sim.Rate(cores)
 	}
-	return &Device{Name: name, Kind: KindCPU, Caps: caps, KernelSetup: KernelSetupCPU}
+	return &Device{Name: name, Kind: KindCPU, Caps: caps, KernelSetup: KernelSetupCPU, Parallelism: cores}
 }
 
 // NewSmartSSD builds an in-storage processor with a bounded state budget.
@@ -164,6 +184,7 @@ func NewSmartSSD(name string) *Device {
 	return &Device{
 		Name: name, Kind: KindSmartSSD, Caps: smartSSDCaps(),
 		KernelSetup: KernelSetupAcc, StateBudget: 64 * sim.MB,
+		Parallelism: SmartSSDUnits,
 	}
 }
 
@@ -172,6 +193,7 @@ func NewSmartNIC(name string, line sim.Rate) *Device {
 	return &Device{
 		Name: name, Kind: KindSmartNIC, Caps: smartNICCaps(line),
 		KernelSetup: KernelSetupAcc, StateBudget: 256 * sim.MB,
+		Parallelism: SmartNICUnits,
 	}
 }
 
@@ -180,6 +202,7 @@ func NewNearMemoryAccel(name string) *Device {
 	return &Device{
 		Name: name, Kind: KindNearMemory, Caps: nearMemoryCaps(),
 		KernelSetup: KernelSetupAcc, StateBudget: 32 * sim.MB,
+		Parallelism: NearMemoryUnits,
 	}
 }
 

@@ -41,6 +41,10 @@ type Placed struct {
 	Device      *fabric.Device
 	Op          fabric.OpClass
 	ChargeInput bool
+	// Workers overrides the pipeline-level worker count for this stage;
+	// 0 inherits Pipeline.Workers. Only honored when Stage implements
+	// ParallelStage, and always clamped to Device.Units().
+	Workers int
 }
 
 // Pipeline is a linear chain: Source -> stage[0] -> ... -> stage[n-1] ->
@@ -56,6 +60,13 @@ type Pipeline struct {
 	Paths [][]*fabric.Link
 	// Depth is the per-port queue depth (credits); default 8.
 	Depth int
+	// Workers asks each ParallelStage to run as a pool of this many
+	// workers (morsel-driven parallelism), clamped per stage to the
+	// hosting device's Parallelism. 0 or 1 runs everything serial.
+	// Parallel stages keep serial semantics — identical output batches
+	// in identical order, identical metered totals — via sequence-
+	// numbered dispatch and an ordered merge; see ParallelStage.
+	Workers int
 	// CreditBatch is how many credits accumulate before one return
 	// message; default Depth/2.
 	CreditBatch int
@@ -249,10 +260,20 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 		}
 	}
 
-	// busySince[i] is the wall-clock nanosecond at which stage i last
-	// began holding a batch (Process or Flush), 0 when idle. The watchdog
-	// reads it to find hung stages.
-	busySince := make([]atomic.Int64, len(p.Stages))
+	// workersPer[i] is how many workers run stage i (1 = the serial
+	// fast path, identical to the pre-parallelism runtime).
+	workersPer := make([]int, len(p.Stages))
+	for i := range p.Stages {
+		workersPer[i] = p.stageWorkers(i)
+	}
+
+	// busySince[i][w] is the wall-clock nanosecond at which stage i's
+	// worker w last began holding a batch (Process or Flush), 0 when
+	// idle. The watchdog reads it to find hung stages.
+	busySince := make([][]atomic.Int64, len(p.Stages))
+	for i := range p.Stages {
+		busySince[i] = make([]atomic.Int64, workersPer[i])
+	}
 
 	var wg sync.WaitGroup
 
@@ -283,8 +304,30 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 		}
 	}()
 
-	// Stage goroutines.
+	// Stage goroutines. Stages with a worker pool run the parallel
+	// dispatcher/merger machinery; everything else takes the serial
+	// fast path below, byte-for-byte the pre-parallelism runtime.
 	for i := range p.Stages {
+		if workersPer[i] > 1 {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var ts *obs.StageTape
+				if stageTapes != nil {
+					ts = stageTapes[i]
+				}
+				var next *Port
+				if i < len(p.Stages)-1 {
+					next = ports[i+1]
+				}
+				p.runStageParallel(&stageRun{
+					i: i, st: p.Stages[i], w: workersPer[i],
+					in: ports[i], next: next, sink: sink, res: &res,
+					ts: ts, fail: fail, done: done, busy: busySince[i],
+				})
+			}(i)
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -373,9 +416,9 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 				b := it.b
 				if !ok {
 					before := res.BatchesOut[i]
-					busySince[i].Store(time.Now().UnixNano())
+					busySince[i][0].Store(time.Now().UnixNano())
 					err := st.Stage.Flush(out)
-					busySince[i].Store(0)
+					busySince[i][0].Store(0)
 					if err != nil {
 						fail(err)
 					} else if ts != nil {
@@ -395,9 +438,9 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 					cost = st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
 				}
 				before := res.BatchesOut[i]
-				busySince[i].Store(time.Now().UnixNano())
+				busySince[i][0].Store(time.Now().UnixNano())
 				perr := st.Stage.Process(b, out)
-				busySince[i].Store(0)
+				busySince[i][0].Store(0)
 				if perr != nil {
 					fail(perr)
 					in.CreditReturn()
@@ -444,8 +487,15 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 				case <-t.C:
 					now := time.Now().UnixNano()
 					for i := len(p.Stages) - 1; i >= 0; i-- {
-						since := busySince[i].Load()
-						if since == 0 || now-since < int64(p.StageTimeout) {
+						hung := false
+						for w := range busySince[i] {
+							since := busySince[i][w].Load()
+							if since != 0 && now-since >= int64(p.StageTimeout) {
+								hung = true
+								break
+							}
+						}
+						if !hung {
 							continue
 						}
 						st := p.Stages[i]

@@ -26,6 +26,9 @@ type DistJoinConfig struct {
 	Paths [][]*fabric.Link
 	// BatchRows is the exchange granule.
 	BatchRows int
+	// Workers > 1 builds each node's hash table as a partitioned table
+	// in parallel (exec.PartitionedHashTable); results are identical.
+	Workers int
 }
 
 // JoinNode is one compute node participating in the distributed join.
@@ -73,9 +76,13 @@ func DistributedJoin(cfg DistJoinConfig, build, probe []*columnar.Batch, onResul
 
 	// Phase 1: scatter the build side into per-node hash tables.
 	buildSchema := build[0].Schema()
-	tables := make([]*exec.HashTable, n)
+	tables := make([]exec.JoinTable, n)
 	for i := range tables {
-		tables[i] = exec.NewHashTable(buildSchema, cfg.BuildKey)
+		if cfg.Workers > 1 {
+			tables[i] = exec.NewPartitionedHashTable(buildSchema, cfg.BuildKey, cfg.Workers)
+		} else {
+			tables[i] = exec.NewHashTable(buildSchema, cfg.BuildKey)
+		}
 	}
 	buildDests := make([]Destination, n)
 	for i := range buildDests {

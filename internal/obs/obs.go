@@ -21,6 +21,13 @@
 //     Overlap across tracks is the signal: the concurrency factor is
 //     busy-sum divided by makespan over all spans — the mean number of
 //     simultaneously active resources, transfer engines included.
+//   - Recording is goroutine-safe, replay order is not. AddSpan,
+//     AddEvent and Sample serialize on an internal mutex, so concurrent
+//     stages may record freely; but append order then depends on the
+//     host scheduler, which would break CI's byte-identical trace diff.
+//     That is why the engines force Workers to 1 whenever Tracing is on:
+//     a traced run is a serial run by contract, and the worker pools
+//     must never write spans from more than one goroutine per track.
 package obs
 
 import (

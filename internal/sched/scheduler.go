@@ -41,6 +41,8 @@ type Admission struct {
 	Cost sim.VTime
 
 	links    []*fabric.Link
+	devices  []string // placed devices holding worker slots
+	slots    int      // worker slots held on each of those devices
 	admitted time.Time
 }
 
@@ -85,8 +87,22 @@ type Scheduler struct {
 	// arriving to a full queue is shed with ErrOverloaded. 0 means an
 	// unbounded queue.
 	QueueCap int
+	// Workers is the worker-pool width admitted queries will run with
+	// (the engine's intra-query parallelism); 0 or 1 means serial. Each
+	// admission reserves that many worker slots on every device the
+	// chosen variant places work on, and WorkerSlotPenalty scores
+	// candidates by how far those reservations oversubscribe a device's
+	// replicated units (fabric.Device.Units) — a four-core CPU already
+	// running one four-worker plan is a worse home for the next one than
+	// an idle accelerator, even if the idle device ranks lower statically.
+	Workers int
+	// WorkerSlotPenalty is the rank-score penalty per fully oversubscribed
+	// device (scaled by the oversubscription ratio); 0 disables worker-
+	// slot awareness.
+	WorkerSlotPenalty float64
 
-	failures map[string]float64 // device name -> decayed failover score
+	failures    map[string]float64 // device name -> decayed failover score
+	deviceSlots map[string]int     // device name -> worker slots held by active plans
 
 	// ewmaService tracks mean admit->release wall time; ewmaCost tracks
 	// the mean optimizer estimate of released plans. Together they
@@ -116,10 +132,12 @@ func New() *Scheduler {
 		active:            make(map[int64]*Admission),
 		linkLoad:          make(map[*fabric.Link]int),
 		failures:          make(map[string]float64),
+		deviceSlots:       make(map[string]int),
 		ContentionPenalty: 1.0,
 		FailurePenalty:    DefaultFailurePenalty,
 		FailureDecay:      DefaultFailureDecay,
 		MaxFailureScore:   DefaultMaxFailureScore,
+		WorkerSlotPenalty: 1.0,
 		FairShare:         true,
 	}
 }
@@ -178,6 +196,24 @@ func variantLinks(p *plan.Physical) []*fabric.Link {
 				seen[l] = true
 				out = append(out, l)
 			}
+		}
+	}
+	return out
+}
+
+// variantDevices collects the distinct devices a variant places
+// operators on, in site order.
+func variantDevices(p *plan.Physical) []*fabric.Device {
+	placed := map[int]bool{}
+	for _, pl := range p.Placements {
+		placed[pl.SiteIdx] = true
+	}
+	seen := map[string]bool{}
+	var out []*fabric.Device
+	for i, site := range p.Path.Sites {
+		if placed[i] && !seen[site.Device.Name] {
+			seen[site.Device.Name] = true
+			out = append(out, site.Device)
 		}
 	}
 	return out
@@ -277,6 +313,10 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 		idx  int
 		cost float64
 	}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	var scores []scored
 	for i, v := range variants {
 		if variantOffline(v) {
@@ -290,8 +330,18 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 		for _, name := range v.PlacedDevices() {
 			failed += s.failures[name]
 		}
+		// Worker-slot pressure: placing this plan's worker pool on a
+		// device already holding slots beyond its replicated units
+		// serializes both plans' lanes; penalize by how far over.
+		over := 0.0
+		for _, d := range variantDevices(v) {
+			u := d.Units()
+			if load := s.deviceSlots[d.Name] + workers; load > u {
+				over += float64(load-u) / float64(u)
+			}
+		}
 		cost := float64(i) + s.ContentionPenalty*float64(contention) +
-			s.FailurePenalty*failed
+			s.FailurePenalty*failed + s.WorkerSlotPenalty*over
 		scores = append(scores, scored{idx: i, cost: cost})
 	}
 	if len(scores) == 0 {
@@ -307,7 +357,12 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 		Variant:  chosen.Variant,
 		Cost:     chosen.EstTime,
 		links:    variantLinks(chosen),
+		slots:    workers,
 		admitted: time.Now(),
+	}
+	for _, d := range variantDevices(chosen) {
+		adm.devices = append(adm.devices, d.Name)
+		s.deviceSlots[d.Name] += workers
 	}
 	s.active[adm.ID] = adm
 	for _, l := range adm.links {
@@ -386,6 +441,12 @@ func (s *Scheduler) Release(adm *Admission) {
 		s.linkLoad[l]--
 		if s.linkLoad[l] <= 0 {
 			delete(s.linkLoad, l)
+		}
+	}
+	for _, name := range adm.devices {
+		s.deviceSlots[name] -= adm.slots
+		if s.deviceSlots[name] <= 0 {
+			delete(s.deviceSlots, name)
 		}
 	}
 	if !adm.admitted.IsZero() {
@@ -467,6 +528,21 @@ func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// SetWorkers records the worker-pool width future admissions reserve;
+// engines call it when their intra-query parallelism changes.
+func (s *Scheduler) SetWorkers(w int) {
+	s.mu.Lock()
+	s.Workers = w
+	s.mu.Unlock()
+}
+
+// DeviceSlots reports the worker slots active plans hold on a device.
+func (s *Scheduler) DeviceSlots(device string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deviceSlots[device]
 }
 
 // LinkLoad reports how many active plans use the link.

@@ -16,6 +16,21 @@ import (
 // another. The observability layer samples meters while stages are still
 // charging, which made the old torn four-load snapshot a real hazard
 // rather than a theoretical one.
+//
+// Concurrency contract (relied on by the morsel-driven worker pools,
+// which put many goroutines behind one meter):
+//
+//   - Every mutation is a commutative addition applied under the lock,
+//     so the totals a quiesced meter reports are independent of writer
+//     interleaving — seeded parallel runs meter identical byte/busy
+//     sums no matter how the scheduler ordered the workers.
+//   - Snapshot/Sub deltas are only meaningful when taken from the same
+//     goroutine ordering context (before work starts / after the wait
+//     group joins); mid-flight snapshots are consistent but may land
+//     between any two charges.
+//   - A MeterSet snapshot is per-meter consistent, not a global cut;
+//     cross-meter invariants (e.g. link bytes == downstream device
+//     bytes) only hold once the pipeline has quiesced.
 type Meter struct {
 	mu       sync.Mutex
 	bytes    int64 // payload bytes processed or moved

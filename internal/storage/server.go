@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/columnar"
 	"repro/internal/encoding"
@@ -67,6 +68,25 @@ type ScanSpec struct {
 	// still held by the storage processor; callers that checkpoint must
 	// not combine the two. Returning an error aborts the scan.
 	Progress func(nextSegment int) error
+	// Workers > 1 scans with a pool of that many workers, clamped to the
+	// storage processor's replicated units (fabric.Device.Units). Each
+	// worker claims segments from a shared counter — the morsel is one
+	// segment — reads, decodes and (with pushdown) filters and projects
+	// it, charging the processor's per-worker lanes; a reorder buffer on
+	// the caller's goroutine then emits batches and reports Progress in
+	// strict segment order, so results, stats, checkpoint watermarks and
+	// metered totals are identical to a serial scan. The media device
+	// stays a serial resource (its lanes collapse to one) and the media
+	// link's bandwidth is shared by every worker — only the per-command
+	// NVMe latency overlaps, up to the link's queue depth
+	// (Link.TransferQD) — so scaling workers cannot outrun the media:
+	// that is the honesty floor of the model. Tracing and pushed-down pre-aggregation force a
+	// serial scan: their internal frontiers and aggregation state are
+	// order-sensitive. Under a seeded fault injector the read *arrival*
+	// order varies with workers, so which segment a fault lands on may
+	// differ run to run; recovery heals it either way and the emitted
+	// rows are unchanged.
+	Workers int
 }
 
 // DefaultBatchRows is the streaming granule when ScanSpec.BatchRows is
@@ -381,6 +401,23 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		return spec.Progress(next)
 	}
 
+	workers := spec.Workers
+	if u := s.proc.Units(); workers > u {
+		workers = u
+	}
+	if pipe != nil || preagg != nil {
+		// The trace pipeline's resource frontiers and the pushed-down
+		// aggregator's state are order-sensitive; keep those scans serial.
+		workers = 1
+	}
+	if workers > 1 {
+		if err := s.scanParallel(ctx, t, spec, workers, needed, filter, projPos, projection, emitTracked, progress, &stats); err != nil {
+			return stats, err
+		}
+		stats.ProcTime = s.proc.Meter.Busy() - procStart
+		return stats, nil
+	}
+
 	for segIdx, key := range t.SegmentKeys {
 		if segIdx < spec.StartSegment {
 			continue
@@ -388,28 +425,9 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		var seg *Segment
-		var batch *columnar.Batch
-		skip := false
-		for attempt := 0; ; attempt++ {
-			var segErr error
-			seg, batch, skip, segErr = s.readSegment(key, needed, spec, pipe, segIdx, attempt, &stats)
-			if segErr == nil {
-				break
-			}
-			// Only checksum-detected corruption is worth re-reading: a
-			// fresh read may hit a clean replica or a clean wire. Other
-			// errors (missing object, exhausted transient budget) have
-			// already been through the store's own retry machinery.
-			if !errors.Is(segErr, encoding.ErrCorrupt) || attempt >= s.store.MaxRetries {
-				return stats, fmt.Errorf("storage: %s: %w", key, segErr)
-			}
-			stats.Retries++
-			if spec.Trace != nil {
-				spec.Trace.AddEvent(obs.Event{Name: "retry", Track: s.media.Name,
-					At: spec.Clock.Now(), Detail: fmt.Sprintf("%s: %v", key, segErr)})
-			}
-			s.store.backoff(attempt)
+		seg, batch, skip, segErr := s.readSegmentRetry(key, needed, spec, pipe, segIdx, 0, &stats)
+		if segErr != nil {
+			return stats, segErr
 		}
 		if skip {
 			stats.SegmentsPruned++
@@ -480,13 +498,156 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 	return stats, nil
 }
 
+// readSegmentRetry wraps readSegment in the corrupt-blob retry loop:
+// only checksum-detected corruption is worth re-reading — a fresh read
+// may hit a clean replica or a clean wire — while other errors (missing
+// object, exhausted transient budget) have already been through the
+// store's own retry machinery and surface as-is.
+func (s *Server) readSegmentRetry(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, lane int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+	for attempt := 0; ; attempt++ {
+		seg, batch, skip, segErr := s.readSegment(key, needed, spec, pipe, segIdx, lane, attempt, stats)
+		if segErr == nil {
+			return seg, batch, skip, nil
+		}
+		if !errors.Is(segErr, encoding.ErrCorrupt) || attempt >= s.store.MaxRetries {
+			return nil, nil, false, fmt.Errorf("storage: %s: %w", key, segErr)
+		}
+		stats.Retries++
+		if spec.Trace != nil {
+			spec.Trace.AddEvent(obs.Event{Name: "retry", Track: s.media.Name,
+				At: spec.Clock.Now(), Detail: fmt.Sprintf("%s: %v", key, segErr)})
+		}
+		s.store.backoff(attempt)
+	}
+}
+
+// scanParallel is the morsel-parallel scan body. Workers claim segment
+// indices from a shared counter and run the per-segment read/decode
+// (and, with pushdown, filter/project) pipeline, charging the devices'
+// positional lanes (lane = segment mod workers, so lane busy is
+// independent of goroutine scheduling). Everything order-sensitive —
+// batch emission, Progress watermarks, stats folding — happens on the
+// caller's goroutine behind a reorder buffer, so a parallel scan is
+// observably identical to a serial one apart from wall time and the
+// per-lane busy split.
+func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, workers int, needed []int, filter expr.Predicate, projPos, projection []int, emitTracked func(*columnar.Batch) error, progress func(int) error, stats *ScanStats) error {
+	type segResult struct {
+		seg  int
+		out  *columnar.Batch // nil when pruned or empty
+		skip bool
+		sub  ScanStats // this segment's media/retry accounting
+		err  error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next atomic.Int64
+	next.Store(int64(spec.StartSegment))
+	results := make(chan segResult, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= len(t.SegmentKeys) || ctx.Err() != nil {
+					return
+				}
+				r := segResult{seg: idx}
+				lane := idx % workers
+				seg, batch, skip, err := s.readSegmentRetry(t.SegmentKeys[idx], needed, spec, nil, idx, lane, &r.sub)
+				switch {
+				case err != nil:
+					r.err = err
+				case skip:
+					r.skip = true
+				default:
+					if spec.Pushdown && filter != nil {
+						n := seg.ColumnDecodedSize(spec.Filter.Columns())
+						s.proc.ChargeLane(fabric.OpFilter, n, lane)
+						batch = batch.Filter(filter.Eval(batch))
+					}
+					out := batch
+					if spec.Pushdown {
+						out = batch.Project(projPos)
+						if len(projection) < t.Schema.NumFields() {
+							s.proc.ChargeLane(fabric.OpProject, sim.Bytes(out.ByteSize()), lane)
+						}
+					}
+					if out.NumRows() > 0 {
+						r.out = out
+					}
+				}
+				select {
+				case results <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	pend := make(map[int]segResult, workers)
+	want := spec.StartSegment
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		cancel() // stop the workers; keep draining results below
+	}
+	for r := range results {
+		if firstErr != nil {
+			continue
+		}
+		pend[r.seg] = r
+		for {
+			cur, ok := pend[want]
+			if !ok {
+				break
+			}
+			delete(pend, want)
+			stats.MediaBytes += cur.sub.MediaBytes
+			stats.Retries += cur.sub.Retries
+			stats.RetryBytes += cur.sub.RetryBytes
+			if cur.err != nil {
+				fail(cur.err)
+				break
+			}
+			if cur.skip {
+				stats.SegmentsPruned++
+			} else if cur.out != nil {
+				if err := emitTracked(cur.out); err != nil {
+					fail(err)
+					break
+				}
+			}
+			if err := progress(want + 1); err != nil {
+				fail(err)
+				break
+			}
+			want++
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Workers bail out between segments when the caller's context ends;
+	// surface that instead of silently under-scanning.
+	return ctx.Err()
+}
+
 // readSegment is one attempt at reading and decoding segment key: fetch
 // the blob, unmarshal it, prune-check, charge the media and processor
-// for the needed columns, and decode them. Corruption surfaces as an
-// error wrapping encoding.ErrCorrupt for Scan's retry loop; re-reads
-// (attempt > 0) charge the media again and count toward RetryBytes, so
-// recovery shows up as real extra work in the meters.
-func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+// for the needed columns, and decode them. Charges land on the devices'
+// positional lanes (serial scans pass lane 0; the media and its link
+// have one unit, so their lanes collapse either way). Corruption
+// surfaces as an error wrapping encoding.ErrCorrupt for the retry loop;
+// re-reads (attempt > 0) charge the media again and count toward
+// RetryBytes, so recovery shows up as real extra work in the meters.
+func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, lane, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
 	blob, err := s.store.GetNoCopy(key)
 	if err != nil {
 		return nil, nil, false, err
@@ -509,12 +670,15 @@ func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scan
 		encoded += sim.Bytes(seg.Columns[c].EncodedSize())
 	}
 	stats.MediaBytes += encoded
-	readCost := s.media.Charge(fabric.OpScan, encoded)
+	readCost := s.media.ChargeLane(fabric.OpScan, encoded, lane)
 	var xferCost sim.VTime
 	if s.mediaLink != nil {
-		xferCost = s.mediaLink.Transfer(encoded)
+		// Queue-depth transfer: NVMe keeps Units() commands in flight,
+		// so per-command latency overlaps across workers while the
+		// sequential bandwidth stays a serial floor.
+		xferCost = s.mediaLink.TransferQD(encoded, lane)
 	}
-	decodeCost := s.proc.Charge(fabric.OpDecompress, encoded)
+	decodeCost := s.proc.ChargeLane(fabric.OpDecompress, encoded, lane)
 	if pipe != nil {
 		pipe.segment(int64(segIdx), encoded, s.media.Name, s.proc.Name,
 			s.mediaLink, readCost, xferCost, decodeCost)
