@@ -261,6 +261,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E23", "decode-cost elimination: encoded predicate eval vs eager decode", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E23EncodedEval(rows)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -304,6 +311,12 @@ type jsonEntry struct {
 	ID      string             `json:"id"`
 	Title   string             `json:"title"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// EncodedEval and DecodedBytesSaved capture whether the run used
+	// encoded predicate evaluation and how many decode bytes late
+	// materialization avoided, so BENCH_*.json trajectories track the
+	// win across revisions.
+	EncodedEval       bool  `json:"encodedEval,omitempty"`
+	DecodedBytesSaved int64 `json:"decodedBytesSaved,omitempty"`
 }
 
 func writeTraceFile(path string, rows int) error {
@@ -370,7 +383,10 @@ func main() {
 			continue
 		}
 		fmt.Println(t.String())
-		entries = append(entries, jsonEntry{ID: t.ID, Title: t.Title, Metrics: t.Metrics})
+		entries = append(entries, jsonEntry{
+			ID: t.ID, Title: t.Title, Metrics: t.Metrics,
+			EncodedEval: t.EncodedEval, DecodedBytesSaved: t.DecodedBytesSaved,
+		})
 	}
 	if *tracePath != "" {
 		if err := writeTraceFile(*tracePath, *rows); err != nil {

@@ -13,6 +13,12 @@ type Batch struct {
 	schema *Schema
 	cols   []*Vector
 	rows   int
+	// sel, when non-nil, marks the live rows of the batch (a lazy
+	// selection vector, one bit per physical row). Operators that can
+	// work sparsely consult it via Selection/LiveRows; dense stage
+	// boundaries (sort, join build, ship-over-link) call Compact to
+	// materialize the surviving rows.
+	sel *Bitmap
 }
 
 // NewBatch returns an empty batch for the schema with per-column capacity
@@ -114,13 +120,53 @@ func (b *Batch) Row(i int) []Value {
 }
 
 // Project returns a batch containing only the columns at the given
-// indices. Column storage is shared, not copied.
+// indices. Column storage is shared, not copied; a lazy selection
+// vector is carried along.
 func (b *Batch) Project(indices []int) *Batch {
 	cols := make([]*Vector, len(indices))
 	for i, idx := range indices {
 		cols[i] = b.cols[idx]
 	}
-	return &Batch{schema: b.schema.Project(indices), cols: cols, rows: b.NumRows()}
+	return &Batch{schema: b.schema.Project(indices), cols: cols, rows: b.NumRows(), sel: b.sel}
+}
+
+// WithSelection returns a view of b whose live rows are the set bits of
+// sel. Column storage is shared. sel must match the physical row count;
+// nil clears the selection (all rows live).
+func (b *Batch) WithSelection(sel *Bitmap) *Batch {
+	if sel != nil && sel.Len() != b.NumRows() {
+		panic("columnar: WithSelection length mismatch")
+	}
+	return &Batch{schema: b.schema, cols: b.cols, rows: b.rows, sel: sel}
+}
+
+// Selection returns the batch's lazy selection vector, or nil when every
+// physical row is live.
+func (b *Batch) Selection() *Bitmap { return b.sel }
+
+// LiveRows reports the number of selected rows: NumRows when no
+// selection vector is attached.
+func (b *Batch) LiveRows() int {
+	if b.sel == nil {
+		return b.NumRows()
+	}
+	return b.sel.Count()
+}
+
+// Compact materializes the lazy selection: it returns a dense batch
+// holding only the live rows, with no selection vector attached. Dense
+// stage boundaries (sort, join build, ship-over-link, sinks) call this
+// before counting rows or charging bytes. A batch without a selection
+// is returned unchanged.
+func (b *Batch) Compact() *Batch {
+	if b.sel == nil {
+		return b
+	}
+	if b.sel.Count() == b.NumRows() {
+		return &Batch{schema: b.schema, cols: b.cols, rows: b.rows}
+	}
+	out := b.Gather(b.sel.Indices(nil))
+	return out
 }
 
 // Gather returns a batch with only the rows at the given indices.

@@ -56,6 +56,83 @@ func (b *Bitmap) Or(other *Bitmap) {
 	}
 }
 
+// AndNot clears every bit of b that is set in other (b &^= other).
+// Both must have the same length.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	if b.n != other.n {
+		panic("columnar: Bitmap.AndNot length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Fill sets every bit in [lo, hi). Bits outside the range are untouched.
+func (b *Bitmap) Fill(lo, hi int) {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic("columnar: Bitmap.Fill range out of bounds")
+	}
+	if lo == hi {
+		return
+	}
+	first, last := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if first == last {
+		b.words[first] |= loMask & hiMask
+		return
+	}
+	b.words[first] |= loMask
+	for i := first + 1; i < last; i++ {
+		b.words[i] = ^uint64(0)
+	}
+	b.words[last] |= hiMask
+}
+
+// Runs calls fn(lo, hi) for every maximal run [lo, hi) of consecutive set
+// bits, in ascending order. Gather-decode uses runs to copy contiguous
+// spans instead of visiting indices one by one.
+func (b *Bitmap) Runs(fn func(lo, hi int)) {
+	n := b.n
+	for i := 0; i < n; {
+		// Find the next set bit at or after i.
+		wi := i >> 6
+		w := b.words[wi] >> (uint(i) & 63)
+		for w == 0 {
+			wi++
+			if wi == len(b.words) {
+				return
+			}
+			i = wi << 6
+			w = b.words[wi]
+		}
+		i += bits.TrailingZeros64(w)
+		if i >= n {
+			return
+		}
+		start := i
+		// Find the next clear bit at or after i.
+		wi = i >> 6
+		w = ^b.words[wi] >> (uint(i) & 63)
+		for w == 0 {
+			wi++
+			if wi == len(b.words) {
+				i = n
+				break
+			}
+			i = wi << 6
+			w = ^b.words[wi]
+		}
+		if w != 0 && i < n {
+			i += bits.TrailingZeros64(w)
+			if i > n {
+				i = n
+			}
+		}
+		fn(start, i)
+	}
+}
+
 // Clone returns a deep copy.
 func (b *Bitmap) Clone() *Bitmap {
 	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}

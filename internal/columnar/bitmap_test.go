@@ -1,0 +1,176 @@
+package columnar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapAndNot(t *testing.T) {
+	a, b := NewBitmap(130), NewBitmap(130)
+	for i := 0; i < 130; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 130; i += 4 {
+		b.Set(i)
+	}
+	a.AndNot(b)
+	for i := 0; i < 130; i++ {
+		want := i%2 == 0 && i%4 != 0
+		if a.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, a.Get(i), want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndNot length mismatch did not panic")
+		}
+	}()
+	a.AndNot(NewBitmap(64))
+}
+
+func TestBitmapFill(t *testing.T) {
+	cases := []struct{ lo, hi int }{
+		{0, 0}, {0, 1}, {0, 64}, {0, 65}, {63, 65}, {5, 200}, {64, 128}, {100, 101}, {0, 200},
+	}
+	for _, c := range cases {
+		b := NewBitmap(200)
+		b.Fill(c.lo, c.hi)
+		for i := 0; i < 200; i++ {
+			want := i >= c.lo && i < c.hi
+			if b.Get(i) != want {
+				t.Fatalf("Fill(%d,%d): bit %d = %v, want %v", c.lo, c.hi, i, b.Get(i), want)
+			}
+		}
+		if got, want := b.Count(), c.hi-c.lo; got != want {
+			t.Fatalf("Fill(%d,%d): Count = %d, want %d", c.lo, c.hi, got, want)
+		}
+	}
+	b := NewBitmap(32)
+	b.Set(3)
+	b.Fill(10, 12) // must not clear bits outside the range
+	if !b.Get(3) {
+		t.Fatal("Fill cleared an unrelated bit")
+	}
+}
+
+func TestBitmapFillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill out of range did not panic")
+		}
+	}()
+	NewBitmap(10).Fill(0, 11)
+}
+
+// runsOf collects the Runs output for comparison.
+func runsOf(b *Bitmap) [][2]int {
+	var out [][2]int
+	b.Runs(func(lo, hi int) { out = append(out, [2]int{lo, hi}) })
+	return out
+}
+
+func TestBitmapRuns(t *testing.T) {
+	b := NewBitmap(300)
+	for _, i := range []int{0, 1, 2, 63, 64, 65, 120, 250, 251, 299} {
+		b.Set(i)
+	}
+	want := [][2]int{{0, 3}, {63, 66}, {120, 121}, {250, 252}, {299, 300}}
+	got := runsOf(b)
+	if len(got) != len(want) {
+		t.Fatalf("Runs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Runs = %v, want %v", got, want)
+		}
+	}
+
+	if got := runsOf(NewBitmap(100)); got != nil {
+		t.Fatalf("empty bitmap Runs = %v, want none", got)
+	}
+
+	full := NewBitmap(129)
+	full.Fill(0, 129)
+	if got := runsOf(full); len(got) != 1 || got[0] != [2]int{0, 129} {
+		t.Fatalf("full bitmap Runs = %v, want [[0 129]]", got)
+	}
+}
+
+func TestBitmapRunsMatchesIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		b := NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		var fromRuns []int
+		b.Runs(func(lo, hi int) {
+			if lo >= hi {
+				t.Fatalf("empty run [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				fromRuns = append(fromRuns, i)
+			}
+		})
+		want := b.Indices(nil)
+		if len(fromRuns) != len(want) {
+			t.Fatalf("n=%d: Runs visited %d bits, Indices %d", n, len(fromRuns), len(want))
+		}
+		for i := range want {
+			if fromRuns[i] != want[i] {
+				t.Fatalf("n=%d: Runs[%d]=%d, Indices[%d]=%d", n, i, fromRuns[i], i, want[i])
+			}
+		}
+	}
+}
+
+func benchBitmaps(n int) (*Bitmap, *Bitmap) {
+	a, b := NewBitmap(n), NewBitmap(n)
+	for i := 0; i < n; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < n; i += 7 {
+		b.Set(i)
+	}
+	return a, b
+}
+
+func BenchmarkBitmapAnd(b *testing.B) {
+	x, y := benchBitmaps(1 << 16)
+	b.SetBytes(int64(x.ByteSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkBitmapOr(b *testing.B) {
+	x, y := benchBitmaps(1 << 16)
+	b.SetBytes(int64(x.ByteSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkBitmapCount(b *testing.B) {
+	x, _ := benchBitmaps(1 << 16)
+	b.SetBytes(int64(x.ByteSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+func BenchmarkBitmapIndices(b *testing.B) {
+	x, _ := benchBitmaps(1 << 16)
+	dst := make([]int, 0, 1<<16)
+	b.SetBytes(int64(x.ByteSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = x.Indices(dst[:0])
+	}
+}

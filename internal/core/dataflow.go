@@ -62,6 +62,12 @@ type DataFlowEngine struct {
 	// returned in Result.Trace. Off by default: disabled tracing adds
 	// zero allocations to the per-batch hot path.
 	Tracing bool
+	// EagerDecode disables encoded predicate evaluation: plans that ask
+	// for EncodedEval still run, but the storage scan decodes every
+	// segment before filtering, as the pre-late-materialization engine
+	// did. Results are bit-identical either way; only decode busy time
+	// differs. Used by E23 as the baseline arm.
+	EagerDecode bool
 	// Workers > 1 enables intra-query morsel parallelism: the storage
 	// scan splits into per-segment morsels claimed by a worker pool, and
 	// every parallelizable flow stage runs as a pool of that many workers
@@ -584,6 +590,9 @@ func addScanStats(dst *storage.ScanStats, s storage.ScanStats) {
 	dst.Retries += s.Retries
 	dst.ReplicaFallbacks += s.ReplicaFallbacks
 	dst.RetryBytes += s.RetryBytes
+	dst.EncodedEvalSegments += s.EncodedEvalSegments
+	dst.DecodedBytes += s.DecodedBytes
+	dst.DecodedBytesSaved += s.DecodedBytesSaved
 }
 
 func (e *DataFlowEngine) tableSchema(name string) (int, *columnar.Schema, error) {
@@ -606,6 +615,7 @@ func (e *DataFlowEngine) buildScanSpec(ph *plan.Physical, numFields int) (storag
 
 	spec.Filter = q.Filter
 	spec.Pushdown = filterAtStorage || preaggAtStorage || countAtStorage || projectAtStorage
+	spec.EncodedEval = ph.EncodedEval && !e.EagerDecode
 	if spec.Pushdown && !filterAtStorage && q.Filter != nil {
 		// A plan that projects at storage but filters later would drop
 		// the filter columns; the optimizer never builds this shape.

@@ -80,6 +80,10 @@ type EncodedColumn struct {
 	Data     []byte // encoded values
 	Nulls    []byte // EncodeBools of the null bitmap; empty if no nulls
 	Checksum uint32 // CRC-32 (IEEE) of Data
+
+	// decodedSize memoizes DecodedSize; not part of the wire format.
+	decodedSize    int64
+	hasDecodedSize bool
 }
 
 // EncodeColumn encodes a vector, picking the cheapest encoding by actually

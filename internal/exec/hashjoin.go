@@ -130,7 +130,7 @@ func (s *BuildStage) Name() string { return "join-build" }
 
 // Process implements flow.Stage.
 func (s *BuildStage) Process(b *columnar.Batch, emit flow.Emit) error {
-	s.Table.Build(b)
+	s.Table.Build(b.Compact()) // join build is a dense boundary
 	return nil
 }
 
@@ -150,7 +150,7 @@ func (s *HashJoinStage) Name() string { return fmt.Sprintf("hashjoin(col%d)", s.
 
 // Process implements flow.Stage.
 func (s *HashJoinStage) Process(b *columnar.Batch, emit flow.Emit) error {
-	out := s.Table.Probe(b, s.ProbeKey)
+	out := s.Table.Probe(b.Compact(), s.ProbeKey)
 	if out.NumRows() == 0 {
 		return nil
 	}

@@ -11,8 +11,17 @@ import (
 
 // FilterStage drops rows failing the predicate. Stateless: placeable on
 // any device that supports OpFilter.
+//
+// In Lazy mode the stage does not copy survivors into a dense batch;
+// it attaches (or narrows) the batch's selection vector and passes the
+// physical rows through untouched. Downstream sparse-capable stages
+// consult the selection; dense boundaries (sort, join build, a port
+// whose path crosses a link, the sink) compact. This is the paper's
+// late-materialization discipline: row movement is deferred until a
+// stage actually needs dense data.
 type FilterStage struct {
 	Pred expr.Predicate
+	Lazy bool
 }
 
 // Name implements flow.Stage.
@@ -20,7 +29,18 @@ func (s *FilterStage) Name() string { return "filter(" + s.Pred.String() + ")" }
 
 // Process implements flow.Stage.
 func (s *FilterStage) Process(b *columnar.Batch, emit flow.Emit) error {
-	out := b.Filter(s.Pred.Eval(b))
+	keep := s.Pred.Eval(b)
+	if sel := b.Selection(); sel != nil {
+		keep.And(sel)
+	}
+	if s.Lazy {
+		out := b.WithSelection(keep)
+		if out.LiveRows() == 0 {
+			return nil
+		}
+		return emit(out)
+	}
+	out := b.Filter(keep)
 	if out.NumRows() == 0 {
 		return nil
 	}
@@ -59,6 +79,7 @@ func (s *HashStage) Name() string { return fmt.Sprintf("hash(col%d)", s.KeyCol) 
 
 // Process implements flow.Stage.
 func (s *HashStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	b = b.Compact() // appends a column per physical row: dense boundary
 	seed := s.Seed
 	if seed == 0 {
 		seed = SeedJoin
@@ -99,6 +120,7 @@ func (s *PreAggStage) Name() string {
 
 // Process implements flow.Stage.
 func (s *PreAggStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	b = b.Compact() // aggregation walks physical rows: dense boundary
 	var spills []*columnar.Batch
 	if s.Raw {
 		spills = s.Agg.AddRaw(b)
@@ -143,6 +165,7 @@ func (s *FinalAggStage) Name() string { return "finalagg" }
 
 // Process implements flow.Stage.
 func (s *FinalAggStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	b = b.Compact() // aggregation walks physical rows: dense boundary
 	if s.Raw {
 		s.Agg.AddRaw(b)
 	} else {
@@ -176,7 +199,9 @@ func (s *CountStage) Name() string { return "count" }
 
 // Process implements flow.Stage.
 func (s *CountStage) Process(b *columnar.Batch, emit flow.Emit) error {
-	s.count += int64(b.NumRows())
+	// LiveRows honors a lazy selection without compacting: counting
+	// needs no row movement at all.
+	s.count += int64(b.LiveRows())
 	return nil
 }
 
@@ -208,6 +233,7 @@ func (s *TopKStage) Name() string { return fmt.Sprintf("top%d(col%d)", s.K, s.By
 
 // Process implements flow.Stage.
 func (s *TopKStage) Process(b *columnar.Batch, emit flow.Emit) error {
+	b = b.Compact() // retains row slices by physical index: dense boundary
 	if s.schema == nil {
 		s.schema = b.Schema()
 	}
@@ -288,7 +314,7 @@ func (s *SortStage) Name() string { return fmt.Sprintf("sort(col%d)", s.ByCol) }
 
 // Process implements flow.Stage.
 func (s *SortStage) Process(b *columnar.Batch, emit flow.Emit) error {
-	s.buffered = append(s.buffered, b)
+	s.buffered = append(s.buffered, b.Compact()) // sort is a dense boundary
 	return nil
 }
 
@@ -354,6 +380,7 @@ func (s *LimitStage) Process(b *columnar.Batch, emit flow.Emit) error {
 	if s.seen >= s.N {
 		return nil
 	}
+	b = b.Compact() // slicing counts physical rows: dense boundary
 	remain := s.N - s.seen
 	if b.NumRows() > remain {
 		b = b.Slice(0, remain)

@@ -37,3 +37,11 @@ func BenchmarkE22Parallelism(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE23EncodedEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := E23EncodedEval(40000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,12 @@ type Table struct {
 	// form; dfbench -json exports them as the run's perf artifact so CI
 	// can track them without parsing rendered rows.
 	Metrics map[string]float64
+	// EncodedEval marks runs that exercised encoded predicate
+	// evaluation; dfbench surfaces it in the -json artifact.
+	EncodedEval bool
+	// DecodedBytesSaved totals the decode bytes late materialization
+	// avoided across the run, for the -json artifact.
+	DecodedBytesSaved int64
 }
 
 // AddRow appends a row built from the given cells.

@@ -1,0 +1,147 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/encoding"
+)
+
+// buildEncodedBatch returns a 4-column batch (int, float, string, bool)
+// with nulls sprinkled in, plus its encoded columns and decoded form.
+func buildEncodedBatch(t *testing.T, n int, seed int64) (*columnar.Batch, []*encoding.EncodedColumn) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cats := []string{"ash", "birch", "cedar", "fir", "oak", "pine"}
+	iv := columnar.NewVector(columnar.Int64, n)
+	fv := columnar.NewVector(columnar.Float64, n)
+	sv := columnar.NewVector(columnar.String, n)
+	bv := columnar.NewVector(columnar.Bool, n)
+	for i := 0; i < n; i++ {
+		if i%19 == 0 {
+			iv.AppendNull()
+			fv.AppendNull()
+			sv.AppendNull()
+			bv.AppendNull()
+			continue
+		}
+		iv.AppendInt64(rng.Int63n(1000))
+		fv.AppendFloat64(rng.Float64() * 100)
+		sv.AppendString(cats[rng.Intn(len(cats))])
+		bv.AppendBool(rng.Intn(2) == 0)
+	}
+	cols := []*encoding.EncodedColumn{
+		encoding.EncodeColumn(iv), encoding.EncodeColumn(fv),
+		encoding.EncodeColumn(sv), encoding.EncodeColumn(bv),
+	}
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "x", Type: columnar.Float64},
+		columnar.Field{Name: "cat", Type: columnar.String},
+		columnar.Field{Name: "flag", Type: columnar.Bool},
+	)
+	vecs := make([]*columnar.Vector, len(cols))
+	for i, ec := range cols {
+		v, err := ec.Decode()
+		if err != nil {
+			t.Fatalf("decode col %d: %v", i, err)
+		}
+		vecs[i] = v
+	}
+	return columnar.BatchOf(schema, vecs...), cols
+}
+
+func TestEvalEncodedMatchesEval(t *testing.T) {
+	batch, cols := buildEncodedBatch(t, 700, 99)
+	colFn := func(i int) *encoding.EncodedColumn { return cols[i] }
+	preds := []Predicate{
+		NewCmp(0, Eq, columnar.IntValue(500)),
+		NewCmp(0, Ne, columnar.IntValue(500)),
+		NewCmp(0, Lt, columnar.IntValue(120)),
+		NewCmp(0, Le, columnar.IntValue(120)),
+		NewCmp(0, Gt, columnar.IntValue(880)),
+		NewCmp(0, Ge, columnar.IntValue(880)),
+		NewBetween(0, 100, 300),
+		NewBetween(0, -50, -10),   // below zone map
+		NewBetween(0, 2000, 3000), // above zone map
+		NewIn(0, columnar.IntValue(5), columnar.IntValue(77), columnar.IntValue(500)),
+		NewCmp(1, Lt, columnar.FloatValue(25)),
+		NewCmp(1, Ge, columnar.FloatValue(90)),
+		NewCmp(1, Ne, columnar.FloatValue(50)),
+		NewCmp(2, Eq, columnar.StringValue("cedar")),
+		NewCmp(2, Ne, columnar.StringValue("cedar")),
+		NewCmp(2, Gt, columnar.StringValue("f")),
+		NewIn(2, columnar.StringValue("oak"), columnar.StringValue("pine")),
+		NewLike(2, "ir"),
+		NewAnd(NewBetween(0, 100, 600), NewCmp(2, Eq, columnar.StringValue("oak"))),
+		NewOr(NewCmp(0, Lt, columnar.IntValue(50)), NewCmp(1, Gt, columnar.FloatValue(95))),
+		NewNot(NewBetween(0, 100, 600)),
+		NewNot(NewCmp(2, Eq, columnar.StringValue("oak"))),
+		NewAnd(NewNot(NewCmp(0, Eq, columnar.IntValue(7))), NewOr(NewLike(2, "a"), NewBetween(0, 0, 10))),
+	}
+	for _, p := range preds {
+		got, ok, err := EvalEncoded(p, colFn)
+		if err != nil {
+			t.Fatalf("%s: error: %v", p, err)
+		}
+		if !ok {
+			t.Fatalf("%s: unexpected fallback", p)
+		}
+		want := p.Eval(batch)
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: len %d want %d", p, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if got.Get(i) != want.Get(i) {
+				t.Fatalf("%s: bit %d = %v, eager says %v", p, i, got.Get(i), want.Get(i))
+			}
+		}
+	}
+}
+
+func TestEvalEncodedFallsBack(t *testing.T) {
+	_, cols := buildEncodedBatch(t, 50, 7)
+	colFn := func(i int) *encoding.EncodedColumn { return cols[i] }
+	// Bool comparisons have no kernel.
+	if _, ok, err := EvalEncoded(NewCmp(3, Eq, columnar.BoolValue(true)), colFn); ok || err != nil {
+		t.Fatalf("bool cmp: ok=%v err=%v", ok, err)
+	}
+	// A conjunction with one unsupported leaf falls back as a whole.
+	p := NewAnd(NewBetween(0, 0, 10), NewCmp(3, Eq, columnar.BoolValue(true)))
+	if _, ok, err := EvalEncoded(p, colFn); ok || err != nil {
+		t.Fatalf("mixed and: ok=%v err=%v", ok, err)
+	}
+	// Missing column.
+	if _, ok, _ := EvalEncoded(NewBetween(0, 0, 10), func(int) *encoding.EncodedColumn { return nil }); ok {
+		t.Fatal("missing column should fall back")
+	}
+	// Empty IN list.
+	if _, ok, _ := EvalEncoded(NewIn(0), colFn); ok {
+		t.Fatal("empty IN should fall back")
+	}
+}
+
+func TestInPredicateEval(t *testing.T) {
+	batch, _ := buildEncodedBatch(t, 100, 11)
+	p := NewIn(0, columnar.IntValue(1), columnar.IntValue(2))
+	sel := p.Eval(batch)
+	col := batch.Col(0)
+	for i := 0; i < batch.NumRows(); i++ {
+		want := !col.IsNull(i) && (col.Int64s()[i] == 1 || col.Int64s()[i] == 2)
+		if sel.Get(i) != want {
+			t.Fatalf("row %d: got %v want %v", i, sel.Get(i), want)
+		}
+	}
+	if got := NewIn(0, columnar.IntValue(1)).String(); got != "col0 IN (1)" {
+		t.Fatalf("String() = %q", got)
+	}
+	lo, hi, ok := IntRange(NewIn(0, columnar.IntValue(9), columnar.IntValue(3)), 0)
+	if !ok || lo != 3 || hi != 9 {
+		t.Fatalf("IntRange(IN) = %d..%d ok=%v", lo, hi, ok)
+	}
+	reb := Rebase(NewIn(2, columnar.StringValue("x")), func(c int) int { return c - 2 }).(*In)
+	if reb.Col != 0 {
+		t.Fatalf("Rebase(In) col = %d", reb.Col)
+	}
+}

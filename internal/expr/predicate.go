@@ -243,6 +243,72 @@ func (p *Like) String() string {
 	return fmt.Sprintf("col%d LIKE '%%%s%%'", p.Col, p.Pattern)
 }
 
+// In selects rows whose column value equals any of Vals. All values
+// must share the column's type; on low-cardinality columns the encoded
+// kernels translate the list into a dictionary code-set once and compare
+// codes.
+type In struct {
+	Col  int
+	Vals []columnar.Value
+}
+
+// NewIn builds a set-membership predicate.
+func NewIn(col int, vals ...columnar.Value) *In { return &In{Col: col, Vals: vals} }
+
+// Eval implements Predicate.
+func (p *In) Eval(b *columnar.Batch) *columnar.Bitmap {
+	col := b.Col(p.Col)
+	sel := columnar.NewBitmap(b.NumRows())
+	if len(p.Vals) == 0 {
+		return sel
+	}
+	switch p.Vals[0].Type {
+	case columnar.Int64:
+		want := make(map[int64]struct{}, len(p.Vals))
+		for _, v := range p.Vals {
+			want[v.I] = struct{}{}
+		}
+		for i, v := range col.Int64s() {
+			if _, ok := want[v]; ok && !col.IsNull(i) {
+				sel.Set(i)
+			}
+		}
+	case columnar.Float64:
+		want := make(map[float64]struct{}, len(p.Vals))
+		for _, v := range p.Vals {
+			want[v.F] = struct{}{}
+		}
+		for i, v := range col.Float64s() {
+			if _, ok := want[v]; ok && !col.IsNull(i) {
+				sel.Set(i)
+			}
+		}
+	case columnar.String:
+		want := make(map[string]struct{}, len(p.Vals))
+		for _, v := range p.Vals {
+			want[v.S] = struct{}{}
+		}
+		for i, v := range col.Strings() {
+			if _, ok := want[v]; ok && !col.IsNull(i) {
+				sel.Set(i)
+			}
+		}
+	}
+	return sel
+}
+
+// Columns implements Predicate.
+func (p *In) Columns() []int { return []int{p.Col} }
+
+// String implements Predicate.
+func (p *In) String() string {
+	parts := make([]string, len(p.Vals))
+	for i, v := range p.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("col%d IN (%s)", p.Col, strings.Join(parts, ", "))
+}
+
 // And conjoins predicates.
 type And struct{ Preds []Predicate }
 
@@ -352,6 +418,8 @@ func Rebase(p Predicate, m func(int) int) Predicate {
 		return &Between{Col: m(t.Col), Lo: t.Lo, Hi: t.Hi}
 	case *Like:
 		return &Like{Col: m(t.Col), Pattern: t.Pattern}
+	case *In:
+		return &In{Col: m(t.Col), Vals: t.Vals}
 	case *And:
 		out := &And{Preds: make([]Predicate, len(t.Preds))}
 		for i, sub := range t.Preds {
@@ -399,6 +467,20 @@ func IntRange(p Predicate, col int) (lo, hi int64, ok bool) {
 		case Ge:
 			return t.Val.I, maxI, true
 		}
+	case *In:
+		if t.Col != col || len(t.Vals) == 0 || t.Vals[0].Type != columnar.Int64 {
+			return 0, 0, false
+		}
+		lo, hi = t.Vals[0].I, t.Vals[0].I
+		for _, v := range t.Vals[1:] {
+			if v.I < lo {
+				lo = v.I
+			}
+			if v.I > hi {
+				hi = v.I
+			}
+		}
+		return lo, hi, true
 	case *And:
 		lo, hi = minI, maxI
 		found := false

@@ -128,6 +128,7 @@ func (p *Pipeline) runStageParallel(r *stageRun) {
 	// merger, then by the flush phase after the merger has joined.
 	out := func(b *columnar.Batch) error {
 		if last {
+			b = b.Compact() // the sink is a dense boundary
 			r.res.SinkBatches++
 			r.res.SinkRows += int64(b.NumRows())
 			r.res.SinkBytes += sim.Bytes(b.ByteSize())

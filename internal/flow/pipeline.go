@@ -291,6 +291,7 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 					obs.Emission{At: p.Clock.Now(), Bytes: sim.Bytes(b.ByteSize())})
 			}
 			if len(ports) == 0 {
+				b = b.Compact() // the sink is a dense boundary
 				res.SinkBatches++
 				res.SinkRows += int64(b.NumRows())
 				res.SinkBytes += sim.Bytes(b.ByteSize())
@@ -341,6 +342,7 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 			last := i == len(p.Stages)-1
 			if last {
 				out = func(b *columnar.Batch) error {
+					b = b.Compact() // the sink is a dense boundary
 					res.SinkBatches++
 					res.SinkRows += int64(b.NumRows())
 					res.SinkBytes += sim.Bytes(b.ByteSize())

@@ -98,7 +98,14 @@ func newPort(name string, path []*fabric.Link, depth, creditBatch int, done <-ch
 // Send blocks until a credit is available, then transfers the batch,
 // charging every link on the path. An injected fault on any path link
 // aborts the transfer with a LinkError before any credit is consumed.
+// A batch carrying a lazy selection vector is compacted first when the
+// path crosses any fabric link: shipping dead rows would waste exactly
+// the bandwidth late materialization exists to save. On-device handoff
+// (empty path) keeps the selection lazy.
 func (p *Port) Send(b *columnar.Batch) error {
+	if len(p.Path) > 0 {
+		b = b.Compact()
+	}
 	for _, l := range p.Path {
 		if err := l.CheckFault(); err != nil {
 			return &LinkError{Link: l.Name, Err: err}

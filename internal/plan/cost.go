@@ -127,6 +127,13 @@ func EstimateSelectivity(p expr.Predicate, s TableStats) float64 {
 		return defaultRangeSel
 	case *expr.Like:
 		return defaultLikeSel
+	case *expr.In:
+		// Sum of point selectivities, bounded by 1.
+		eq := defaultEqSel
+		if t.Col < len(s.Distinct) && s.Distinct[t.Col] > 0 {
+			eq = 1 / float64(s.Distinct[t.Col])
+		}
+		return clamp01(float64(len(t.Vals)) * eq)
 	case *expr.And:
 		sel := 1.0
 		for _, sub := range t.Preds {

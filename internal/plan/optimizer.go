@@ -25,6 +25,14 @@ type Physical struct {
 	Path       PathModel
 	Placements []Placement
 
+	// EncodedEval asks the storage processor to evaluate the pushed-down
+	// filter directly on encoded columns and gather-decode only the
+	// surviving rows (late materialization), instead of decoding every
+	// segment before filtering. Only meaningful when the filter is placed
+	// at the storage site; the runtime falls back per segment when a
+	// predicate/codec pair has no kernel.
+	EncodedEval bool
+
 	// Estimates from the cost model.
 	EstBytes sim.Bytes // total bytes crossing all path segments
 	EstTime  sim.VTime // pipeline makespan estimate
@@ -131,6 +139,9 @@ func (o *Optimizer) Enumerate(q *Query, stats TableStats) ([]*Physical, error) {
 		// the CPU (the Section 4.4 staged group-by) instead of just the
 		// chosen one.
 		cascade bool
+		// encoded evaluates the storage-site filter on encoded columns
+		// with late materialization instead of decode-then-filter.
+		encoded bool
 	}
 	earliestUsable := func(op fabric.OpClass, from int) int {
 		for i := from; i < len(pm.Sites); i++ {
@@ -166,17 +177,23 @@ func (o *Optimizer) Enumerate(q *Query, stats TableStats) ([]*Physical, error) {
 	}
 
 	specs := []variantSpec{
-		{"cpu-only", cpuOnly, false},
-		{"storage-pushdown", storageOnly, false},
-		{"full-offload", earliest, true},
-		{"nic-offload", nicOnward, false},
+		{"cpu-only", cpuOnly, false, false},
+		{"storage-pushdown", storageOnly, false, false},
+		{"storage-pushdown-encoded", storageOnly, false, true},
+		{"full-offload", earliest, true, false},
+		{"nic-offload", nicOnward, false, false},
 	}
 
 	var out []*Physical
 	seen := map[string]bool{}
 	for _, vs := range specs {
-		ph := o.build(q, stats, vs.name, vs.siteFor, vs.cascade)
+		ph := o.build(q, stats, vs.name, vs.siteFor, vs.cascade, vs.encoded)
 		key := placementKey(ph.Placements)
+		if ph.EncodedEval {
+			// Same placements as the eager storage-pushdown variant, but
+			// a different execution strategy: keep both in the ranking.
+			key += "+enc"
+		}
 		if seen[key] {
 			continue
 		}
@@ -227,7 +244,7 @@ func (o *Optimizer) rank(p *Physical) float64 {
 }
 
 // build constructs one variant and costs it.
-func (o *Optimizer) build(q *Query, stats TableStats, name string, siteFor func(fabric.OpClass) int, cascade bool) *Physical {
+func (o *Optimizer) build(q *Query, stats TableStats, name string, siteFor func(fabric.OpClass) int, cascade, encoded bool) *Physical {
 	pm := o.Path
 	cpuIdx := len(pm.Sites) - 1
 	ph := &Physical{Query: q, Variant: name, Path: pm}
@@ -236,7 +253,12 @@ func (o *Optimizer) build(q *Query, stats TableStats, name string, siteFor func(
 	}
 
 	if q.Filter != nil {
-		add(fabric.OpFilter, siteFor(fabric.OpFilter))
+		site := siteFor(fabric.OpFilter)
+		add(fabric.OpFilter, site)
+		// Encoded evaluation only exists where the filter actually runs
+		// at the storage site; anywhere else the variant collapses into
+		// its eager twin and dedup drops it.
+		ph.EncodedEval = encoded && site == 0 && cpuIdx != 0
 	}
 	switch {
 	case q.CountOnly:
@@ -286,11 +308,30 @@ func (o *Optimizer) estimate(ph *Physical, stats TableStats) {
 	var latency sim.VTime
 	var moved sim.Bytes
 
-	// Storage decode always happens at site 0 over the encoded bytes.
-	encBytes := sim.Bytes(rows * rowBytes * stats.EncodedFraction)
-	if dec := pm.Sites[0].Device.RateFor(fabric.OpDecompress); dec > 0 {
-		if t := dec.TimeFor(encBytes); t > bottleneck {
-			bottleneck = t
+	if ph.EncodedEval {
+		// Late materialization: the filter streams only the encoded
+		// filter columns, and the decode is a gather over survivors —
+		// the decode-savings term that makes this variant win at low
+		// selectivity and lose nothing at high selectivity.
+		filterBytes := sim.Bytes(rows * float64(stats.RowBytes(predCols(q.Filter, len(stats.ColBytes)))) * stats.EncodedFraction)
+		if r := pm.Sites[0].Device.RateFor(fabric.OpFilter); r > 0 {
+			if t := r.TimeFor(filterBytes); t > bottleneck {
+				bottleneck = t
+			}
+		}
+		gatherBytes := sim.Bytes(rows * sel * rowBytes * stats.EncodedFraction)
+		if dec := pm.Sites[0].Device.RateFor(fabric.OpDecompress); dec > 0 {
+			if t := dec.TimeFor(gatherBytes); t > bottleneck {
+				bottleneck = t
+			}
+		}
+	} else {
+		// Eager decode at site 0 over the full encoded bytes.
+		encBytes := sim.Bytes(rows * rowBytes * stats.EncodedFraction)
+		if dec := pm.Sites[0].Device.RateFor(fabric.OpDecompress); dec > 0 {
+			if t := dec.TimeFor(encBytes); t > bottleneck {
+				bottleneck = t
+			}
 		}
 	}
 
@@ -298,6 +339,12 @@ func (o *Optimizer) estimate(ph *Physical, stats TableStats) {
 	for i, site := range pm.Sites {
 		inBytes := sim.Bytes(rows * rowBytes)
 		for _, op := range ph.PlacementsAt(i) {
+			if ph.EncodedEval && i == 0 && op == fabric.OpFilter {
+				// Already charged above over encoded filter-column bytes.
+				rows *= sel
+				inBytes = sim.Bytes(rows * rowBytes)
+				continue
+			}
 			if t := site.Device.RateFor(op).TimeFor(inBytes); t > bottleneck {
 				bottleneck = t
 			}
@@ -356,6 +403,24 @@ func partialRowBytes(g *expr.GroupBy, stats TableStats) float64 {
 	}
 	n += int64(len(g.Aggs)) * 56 // seven 8-byte state fields
 	return float64(n)
+}
+
+// predCols lists the distinct columns a predicate touches, clipped to
+// the table's column count.
+func predCols(p expr.Predicate, numCols int) []int {
+	if p == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range p.Columns() {
+		if c >= 0 && c < numCols && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // neededCols unions the columns a query touches.

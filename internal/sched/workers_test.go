@@ -54,7 +54,22 @@ func TestWorkerSlotAccounting(t *testing.T) {
 // units, the worker-slot penalty steers the next admission to an idle
 // node even though the loaded variant ranks better.
 func TestWorkerSlotPenaltySteers(t *testing.T) {
-	_, v0, v1 := twoNodeVariants(t)
+	_, v0all, v1all := twoNodeVariants(t)
+	// The top-ranked variants place work only on the shared storage
+	// processor, where slot pressure cannot distinguish the nodes. Pin
+	// the nic-offload variants: they place the filter on each node's own
+	// NIC, which is what the worker-slot penalty steers between.
+	pick := func(vs []*plan.Physical) *plan.Physical {
+		for _, v := range vs {
+			if v.Variant == "nic-offload" {
+				return v
+			}
+		}
+		t.Fatal("no nic-offload variant")
+		return nil
+	}
+	v0 := []*plan.Physical{pick(v0all)}
+	v1 := []*plan.Physical{pick(v1all)}
 	s := New()
 	s.ContentionPenalty = 0 // isolate the worker-slot term
 	s.WorkerSlotPenalty = 10

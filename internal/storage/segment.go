@@ -65,17 +65,10 @@ func (s *Segment) ColumnDecodedSize(indices []int) sim.Bytes {
 }
 
 func decodedColSize(t columnar.Type, c *encoding.EncodedColumn) int64 {
-	switch t {
-	case columnar.Int64, columnar.Float64:
-		return int64(c.Stats.NumValues) * 8
-	case columnar.Bool:
-		return int64(c.Stats.NumValues)
-	case columnar.String:
-		// Approximate: decoded strings cost roughly their plain
-		// encoding; dictionary-encoded columns expand on decode.
-		return int64(len(c.Data)+len(c.Nulls)) * 2
-	}
-	return int64(len(c.Data))
+	// DecodedSize computes the real decoded footprint — for dictionary
+	// columns the sum of referenced entry widths plus headers, not an
+	// approximation — so dict-heavy columns meter honestly.
+	return c.DecodedSize()
 }
 
 // Decode reconstructs the full segment as a batch, verifying checksums.

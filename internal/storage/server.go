@@ -40,6 +40,17 @@ type ScanSpec struct {
 	// processor (Figure 2). Without it the scan ships every needed
 	// column of every live row and filtering happens at the consumer.
 	Pushdown bool
+	// EncodedEval, with Pushdown, evaluates the filter directly on the
+	// encoded columns (predicate kernels over bit-packed/delta streams
+	// and dictionary codes) and then gather-decodes only the surviving
+	// rows of only the projected columns — late materialization. The
+	// processor's decode meter is charged for the bytes actually
+	// touched instead of the full segment. Segments whose type/codec
+	// pair has no kernel fall back to decode-then-eval; emitted rows
+	// and bytes are bit-identical either way. Ignored without Pushdown,
+	// without a Filter, or with PreAgg (the aggregator needs dense raw
+	// batches).
+	EncodedEval bool
 	// DisablePruning turns zone-map pruning off, modelling a legacy
 	// engine that reads everything (used as the Figure 1 baseline).
 	DisablePruning bool
@@ -124,6 +135,15 @@ type ScanStats struct {
 	Retries          int64
 	ReplicaFallbacks int64
 	RetryBytes       sim.Bytes
+
+	// Encoded-evaluation accounting. EncodedEvalSegments counts
+	// segments whose filter ran on encoded data; DecodedBytes is what
+	// the processor actually streamed through its decoder, and
+	// DecodedBytesSaved is the decode work late materialization avoided
+	// versus eager full-column decode (E23's headline number).
+	EncodedEvalSegments int64
+	DecodedBytes        sim.Bytes
+	DecodedBytesSaved   sim.Bytes
 }
 
 // scanPipe replays one scan's internal three-stage pipeline onto a
@@ -148,10 +168,11 @@ func (p *scanPipe) span(name, track string, kind obs.SpanKind, start, cost sim.V
 	return end
 }
 
-// segment replays one segment's read -> DMA -> decode chain. Each step
-// starts when both its predecessor for this segment and its own
-// resource are free.
-func (p *scanPipe) segment(seq int64, n sim.Bytes, media, proc string, link *fabric.Link, readCost, xferCost, decodeCost sim.VTime) {
+// segment replays one segment's read -> DMA -> first-processor-step
+// chain ("decode" on the eager path, the encoded-filter kernel on the
+// encoded-eval path). Each step starts when both its predecessor for
+// this segment and its own resource are free.
+func (p *scanPipe) segment(seq int64, n sim.Bytes, media, proc, procStep string, link *fabric.Link, readCost, xferCost, procCost sim.VTime) {
 	p.mediaFree = p.span("read", media, obs.SpanScan, p.mediaFree, readCost, seq, n)
 	ready := p.mediaFree
 	if link != nil {
@@ -166,7 +187,7 @@ func (p *scanPipe) segment(seq int64, n sim.Bytes, media, proc string, link *fab
 	if p.procFree > start {
 		start = p.procFree
 	}
-	p.procFree = p.span("decode", proc, obs.SpanScan, start, decodeCost, seq, n)
+	p.procFree = p.span(procStep, proc, obs.SpanScan, start, procCost, seq, n)
 }
 
 // procOp replays one pushed-down operator, serialized on the processor.
@@ -425,12 +446,24 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		seg, batch, skip, segErr := s.readSegmentRetry(key, needed, spec, pipe, segIdx, 0, &stats)
+		seg, batch, skip, processed, segErr := s.readSegmentRetry(key, needed, projection, spec, pipe, segIdx, 0, &stats)
 		if segErr != nil {
 			return stats, segErr
 		}
 		if skip {
 			stats.SegmentsPruned++
+			if err := progress(segIdx + 1); err != nil {
+				return stats, err
+			}
+			continue
+		}
+		if processed {
+			// The encoded-eval path already filtered and projected.
+			if batch.NumRows() > 0 {
+				if err := emitTracked(batch); err != nil {
+					return stats, err
+				}
+			}
 			if err := progress(segIdx + 1); err != nil {
 				return stats, err
 			}
@@ -503,14 +536,14 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 // may hit a clean replica or a clean wire — while other errors (missing
 // object, exhausted transient budget) have already been through the
 // store's own retry machinery and surface as-is.
-func (s *Server) readSegmentRetry(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, lane int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+func (s *Server) readSegmentRetry(key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
 	for attempt := 0; ; attempt++ {
-		seg, batch, skip, segErr := s.readSegment(key, needed, spec, pipe, segIdx, lane, attempt, stats)
+		seg, batch, skip, processed, segErr := s.readSegment(key, needed, projection, spec, pipe, segIdx, lane, attempt, stats)
 		if segErr == nil {
-			return seg, batch, skip, nil
+			return seg, batch, skip, processed, nil
 		}
 		if !errors.Is(segErr, encoding.ErrCorrupt) || attempt >= s.store.MaxRetries {
-			return nil, nil, false, fmt.Errorf("storage: %s: %w", key, segErr)
+			return nil, nil, false, false, fmt.Errorf("storage: %s: %w", key, segErr)
 		}
 		stats.Retries++
 		if spec.Trace != nil {
@@ -556,12 +589,17 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 				}
 				r := segResult{seg: idx}
 				lane := idx % workers
-				seg, batch, skip, err := s.readSegmentRetry(t.SegmentKeys[idx], needed, spec, nil, idx, lane, &r.sub)
+				seg, batch, skip, processed, err := s.readSegmentRetry(t.SegmentKeys[idx], needed, projection, spec, nil, idx, lane, &r.sub)
 				switch {
 				case err != nil:
 					r.err = err
 				case skip:
 					r.skip = true
+				case processed:
+					// Encoded-eval already filtered and projected.
+					if batch.NumRows() > 0 {
+						r.out = batch
+					}
 				default:
 					if spec.Pushdown && filter != nil {
 						n := seg.ColumnDecodedSize(spec.Filter.Columns())
@@ -612,6 +650,9 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 			stats.MediaBytes += cur.sub.MediaBytes
 			stats.Retries += cur.sub.Retries
 			stats.RetryBytes += cur.sub.RetryBytes
+			stats.EncodedEvalSegments += cur.sub.EncodedEvalSegments
+			stats.DecodedBytes += cur.sub.DecodedBytes
+			stats.DecodedBytesSaved += cur.sub.DecodedBytesSaved
 			if cur.err != nil {
 				fail(cur.err)
 				break
@@ -647,20 +688,20 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 // surfaces as an error wrapping encoding.ErrCorrupt for the retry loop;
 // re-reads (attempt > 0) charge the media again and count toward
 // RetryBytes, so recovery shows up as real extra work in the meters.
-func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scanPipe, segIdx, lane, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, error) {
+func (s *Server) readSegment(key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
 	blob, err := s.store.GetNoCopy(key)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, false, err
 	}
 	if attempt > 0 {
 		stats.RetryBytes += sim.Bytes(len(blob))
 	}
 	seg, err := UnmarshalSegment(blob)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, false, err
 	}
 	if !spec.DisablePruning && s.pruned(seg, spec.Filter) {
-		return seg, nil, true, nil
+		return seg, nil, true, false, nil
 	}
 
 	// Media reads only the needed column chunks (columnar layout +
@@ -678,17 +719,96 @@ func (s *Server) readSegment(key string, needed []int, spec ScanSpec, pipe *scan
 		// sequential bandwidth stays a serial floor.
 		xferCost = s.mediaLink.TransferQD(encoded, lane)
 	}
+
+	if spec.encodedEvalActive() {
+		out, hit, encErr := s.segmentEncodedEval(seg, spec, projection, pipe, segIdx, lane, encoded, readCost, xferCost, stats)
+		if encErr != nil {
+			return seg, nil, false, false, encErr
+		}
+		if hit {
+			return seg, out, false, true, nil
+		}
+		// No kernel for some leaf: fall through to decode-then-eval for
+		// this segment.
+	}
+
 	decodeCost := s.proc.ChargeLane(fabric.OpDecompress, encoded, lane)
+	stats.DecodedBytes += encoded
 	if pipe != nil {
-		pipe.segment(int64(segIdx), encoded, s.media.Name, s.proc.Name,
+		pipe.segment(int64(segIdx), encoded, s.media.Name, s.proc.Name, "decode",
 			s.mediaLink, readCost, xferCost, decodeCost)
 	}
 
 	batch, err := seg.DecodeColumns(needed)
 	if err != nil {
-		return seg, nil, false, err
+		return seg, nil, false, false, err
 	}
-	return seg, batch, false, nil
+	return seg, batch, false, false, nil
+}
+
+// encodedEvalActive reports whether this scan runs filters on encoded
+// columns with late materialization.
+func (spec ScanSpec) encodedEvalActive() bool {
+	return spec.Pushdown && spec.EncodedEval && spec.Filter != nil && spec.PreAgg == nil
+}
+
+// segmentEncodedEval is the late-materialization fast path for one
+// segment: evaluate the filter on the encoded columns (charging the
+// processor's filter meter for the encoded bytes it streams), then
+// gather-decode only the surviving rows of only the projected columns
+// (charging the decode meter for the bytes actually touched). hit=false
+// means some type/codec leaf has no kernel and the caller must eager-
+// decode instead; nothing has been charged to the processor in that
+// case. The returned batch is already filtered and projected, value-
+// identical to the eager path's output.
+func (s *Server) segmentEncodedEval(seg *Segment, spec ScanSpec, projection []int, pipe *scanPipe, segIdx, lane int, encoded sim.Bytes, readCost, xferCost sim.VTime, stats *ScanStats) (*columnar.Batch, bool, error) {
+	bm, ok, err := expr.EvalEncoded(spec.Filter, func(c int) *encoding.EncodedColumn {
+		if c < 0 || c >= len(seg.Columns) {
+			return nil
+		}
+		return seg.Columns[c]
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+
+	var encFilter sim.Bytes
+	for _, c := range spec.Filter.Columns() {
+		encFilter += sim.Bytes(seg.Columns[c].EncodedSize())
+	}
+	filterCost := s.proc.ChargeLane(fabric.OpFilter, encFilter, lane)
+
+	k := bm.Count()
+	var gather sim.Bytes
+	for _, c := range projection {
+		gather += sim.Bytes(seg.Columns[c].GatherBytes(k))
+	}
+	decodeCost := s.proc.ChargeLane(fabric.OpDecompress, gather, lane)
+
+	vecs := make([]*columnar.Vector, len(projection))
+	for i, c := range projection {
+		v, derr := seg.Columns[c].DecodeFiltered(bm)
+		if derr != nil {
+			return nil, false, derr
+		}
+		vecs[i] = v
+	}
+	out := columnar.BatchOf(seg.Schema.Project(projection), vecs...)
+
+	stats.EncodedEvalSegments++
+	stats.DecodedBytes += gather
+	if encoded > gather {
+		stats.DecodedBytesSaved += encoded - gather
+	}
+	if pipe != nil {
+		pipe.segment(int64(segIdx), encoded, s.media.Name, s.proc.Name, "filter@storage[enc]",
+			s.mediaLink, readCost, xferCost, filterCost)
+		pipe.procOp("gather@storage", s.proc.Name, decodeCost, int64(segIdx), gather)
+	}
+	return out, true, nil
 }
 
 // checkPushdown verifies the processor can host the requested offloads,
