@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dfbench [-rows N] [-only E2,E7] [-list] [-trace FILE] [-json FILE]
-//	        [-deadline D] [-offered-load 1,4,16]
+//	        [-deadline D] [-offered-load 1,4,16] [-hedge=false]
 //
 // Each experiment reproduces the scenario of one figure or Section-7
 // claim of "Data Flow Architectures for Data Processing on Modern
@@ -43,6 +43,8 @@ var (
 		"comma-separated E21 burst sizes, e.g. 1,4,16 (empty = experiment default)")
 	workersFlag = flag.String("workers", "",
 		"comma-separated worker counts for the E22 parallelism sweep, e.g. 1,2,4,8 (empty = experiment default)")
+	hedgeFlag = flag.Bool("hedge", true,
+		"run the hedging+speculation arm of the E24 tail-latency sweep (false = baseline only)")
 )
 
 // workerSweep translates -workers into E22's sweep; nil means the
@@ -268,6 +270,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E24", "tail latency under gray failure: hedged reads + speculation (robustness)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E24TailLatency(rows, experiments.E24Options{NoHedge: !*hedgeFlag})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -317,6 +326,12 @@ type jsonEntry struct {
 	// win across revisions.
 	EncodedEval       bool  `json:"encodedEval,omitempty"`
 	DecodedBytesSaved int64 `json:"decodedBytesSaved,omitempty"`
+	// Gray-failure defense counters (E24): duplicate work and breaker
+	// activity the run's resilience policy reported.
+	HedgedReads          int64 `json:"hedgedReads,omitempty"`
+	SpeculativeMorsels   int64 `json:"speculativeMorsels,omitempty"`
+	BreakerTrips         int64 `json:"breakerTrips,omitempty"`
+	RetryBudgetExhausted int64 `json:"retryBudgetExhausted,omitempty"`
 }
 
 func writeTraceFile(path string, rows int) error {
@@ -386,6 +401,8 @@ func main() {
 		entries = append(entries, jsonEntry{
 			ID: t.ID, Title: t.Title, Metrics: t.Metrics,
 			EncodedEval: t.EncodedEval, DecodedBytesSaved: t.DecodedBytesSaved,
+			HedgedReads: t.HedgedReads, SpeculativeMorsels: t.SpeculativeMorsels,
+			BreakerTrips: t.BreakerTrips, RetryBudgetExhausted: t.RetryBudgetExhausted,
 		})
 	}
 	if *tracePath != "" {

@@ -5,10 +5,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/workload"
 )
 
@@ -102,6 +104,105 @@ func TestChaosTransientStorageFaults(t *testing.T) {
 		t.Error("no recovery work recorded — faults were not exercised")
 	}
 	if fired := inj.Fires(); fired == 0 {
+		t.Error("injector never fired")
+	}
+	if df.Scheduler.ActiveCount() != 0 {
+		t.Error("admissions leaked after chaos")
+	}
+}
+
+// Gray-failure chaos: error faults and gray slowness together, with the
+// full defense stack live — health-ranked replicas, hedged reads,
+// speculation, breakers and the retry budget. Every query must still
+// return the exact answer; the defenses may only change *when*, never
+// *what*. Runs with concurrent queries so hedge/speculation teardown
+// races are exercised under -race.
+func TestChaosGrayFailureDefenses(t *testing.T) {
+	cfg := workload.DefaultLineitemConfig(testRows)
+	data := workload.GenLineitem(cfg)
+
+	build := func() *DataFlowEngine {
+		df := NewDataFlowEngine(fabric.NewCluster(fabric.DefaultClusterConfig()))
+		df.Workers = 2
+		df.Storage.Store().SetReplicas(2)
+		df.Storage.Store().RetryBase = 0
+		df.Storage.SegmentRows = 2000 // 10 segments per query
+		if err := df.CreateTable("lineitem", workload.LineitemSchema()); err != nil {
+			t.Fatal(err)
+		}
+		if err := df.Load("lineitem", data); err != nil {
+			t.Fatal(err)
+		}
+		return df
+	}
+
+	clean := build()
+	queries := []*plan.Query{
+		plan.NewQuery("lineitem").WithCount(),
+		plan.NewQuery("lineitem").
+			WithFilter(workload.SelectivityFilter(cfg, 0.1)).
+			WithProjection(workload.LExtendedPrice),
+	}
+	expected := make([]map[string]int, len(queries))
+	for i, q := range queries {
+		res, err := clean.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = rowHistogram(res)
+	}
+
+	df := build()
+	store := df.Storage.Store()
+	store.BaseLatency = 100 * time.Microsecond
+	inj := faults.New(0x6A4)
+	inj.Arm(faults.Point{Kind: faults.TransientRead, Prob: 0.01})
+	inj.Arm(faults.Point{Kind: faults.CorruptBlob, Prob: 0.005})
+	inj.Arm(faults.Point{Kind: faults.DegradedDevice, Target: "store/r0", Prob: 0.3, Severity: 8})
+	inj.Arm(faults.Point{Kind: faults.JitterLink, Prob: 0.5, Severity: 1})
+	store.Faults = inj
+	df.EnableResilience(resilience.NewPolicy())
+
+	const workers, rounds = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (w + r) % len(queries)
+				res, err := df.ExecuteOn(context.Background(), queries[qi], w%2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := rowHistogram(res)
+				for k, n := range expected[qi] {
+					if got[k] != n {
+						t.Errorf("worker %d query %d: row %q count %d, want %d",
+							w, qi, k, got[k], n)
+						return
+					}
+				}
+				if len(got) != len(expected[qi]) {
+					t.Errorf("worker %d query %d: %d distinct rows, want %d",
+						w, qi, len(got), len(expected[qi]))
+					return
+				}
+				if res.Stats.HedgeBytes < 0 || res.Stats.SpeculativeBytes < 0 {
+					t.Errorf("negative defense accounting: %+v", res.Stats)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("query under gray-failure chaos failed: %v", err)
+	}
+	if inj.Fires() == 0 {
 		t.Error("injector never fired")
 	}
 	if df.Scheduler.ActiveCount() != 0 {

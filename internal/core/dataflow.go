@@ -16,6 +16,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -68,6 +69,13 @@ type DataFlowEngine struct {
 	// did. Results are bit-identical either way; only decode busy time
 	// differs. Used by E23 as the baseline arm.
 	EagerDecode bool
+	// Resilience bundles the engine's gray-failure defenses: per-device
+	// health tracking, hedged replica reads, speculative morsel
+	// re-execution, circuit breakers and the global retry budget. Wire it
+	// with EnableResilience so the object store, scheduler and fabric all
+	// share one policy; nil (the default) disables every defense and
+	// reproduces the pre-resilience engine exactly.
+	Resilience *resilience.Policy
 	// Workers > 1 enables intra-query morsel parallelism: the storage
 	// scan splits into per-segment morsels claimed by a worker pool, and
 	// every parallelizable flow stage runs as a pool of that many workers
@@ -106,6 +114,29 @@ func NewDataFlowEngine(c *fabric.Cluster) *DataFlowEngine {
 		Scheduler: sched.New(),
 		stats:     make(map[string]plan.TableStats),
 		paths:     make(map[int]plan.PathModel),
+	}
+}
+
+// EnableResilience installs (or, with nil, removes) a gray-failure
+// policy across every layer the engine owns: the object store hedges
+// its replica reads and the scan speculates on straggling morsels, the
+// scheduler consults the policy's circuit breakers at admission, and
+// breaker state changes mark the corresponding fabric device degraded
+// so placement scoring sees gray failures the moment they trip.
+func (e *DataFlowEngine) EnableResilience(p *resilience.Policy) {
+	e.Resilience = p
+	e.Storage.Store().Resilience = p
+	if p == nil {
+		e.Scheduler.Breakers = nil
+		return
+	}
+	e.Scheduler.Breakers = p.Breakers
+	if p.Breakers != nil {
+		p.Breakers.OnChange = func(dev string, st resilience.BreakerState) {
+			if d := e.Cluster.Device(dev); d != nil {
+				d.SetDegraded(st != resilience.Closed)
+			}
+		}
 	}
 }
 
@@ -236,6 +267,7 @@ func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int)
 	if e.Tracing {
 		tr = obs.New()
 	}
+	rBefore := snapshotResilience(e.Storage.Store(), e.Resilience)
 
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -255,12 +287,17 @@ func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int)
 			defer e.Scheduler.Release(adm)
 			return e.executePlan(ctx, adm.Plan, tr)
 		}()
+		e.reportBreakers(adm.Plan, err)
 		if err == nil {
 			res.Stats.Retries += queryRetries
 			res.Stats.Failovers = failovers
 			res.Stats.DegradedPlacement = failovers > 0 || res.Stats.PartialRestarts > 0
 			res.Stats.RecoveryBytes += wasteBytes
 			res.Stats.RecoveryTime += wasteTime
+			// Re-fold the gray-failure counters over the whole lifecycle:
+			// hedges and budget denials burned by abandoned attempts count
+			// against this query, not just the attempt that answered.
+			foldResilience(&res.Stats, e.Storage.Store(), e.Resilience, rBefore)
 			return res, nil
 		}
 		wb, wt := e.meterDelta(before)
@@ -283,11 +320,39 @@ func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int)
 			tr.AddEvent(obs.Event{Name: "failover", Track: se.Device, At: 0,
 				Detail: fmt.Sprintf("stage %s failed (%v); re-planning without %s", se.Stage, se.Err, se.Device)})
 		case faults.IsTransient(err):
+			// Whole-query re-execution is the most expensive retry in the
+			// system; it spends from the same global budget as read retries
+			// and hedges, so a fault storm degrades to failing fast instead
+			// of an unbounded retry storm.
+			if e.Resilience != nil && !e.Resilience.Budget.TryAcquire() {
+				return nil, fmt.Errorf("core: retry budget exhausted: %w", err)
+			}
 			queryRetries++
 			tr.AddEvent(obs.Event{Name: "query-retry", Track: "engine", At: 0, Detail: err.Error()})
 		default:
 			return nil, err
 		}
+	}
+}
+
+// reportBreakers feeds one attempt's outcome into the policy's circuit
+// breakers: a device-attributed stage failure charges that device's
+// breaker, success credits every device the plan placed work on (which
+// also closes any half-open breaker whose probe this attempt was).
+func (e *DataFlowEngine) reportBreakers(ph *plan.Physical, err error) {
+	if e.Resilience == nil || e.Resilience.Breakers == nil || ph == nil {
+		return
+	}
+	br := e.Resilience.Breakers
+	if err == nil {
+		for _, dev := range ph.PlacedDevices() {
+			br.Success(dev)
+		}
+		return
+	}
+	var se *flow.StageError
+	if errors.As(err, &se) && se.Device != "" {
+		br.Failure(se.Device)
 	}
 }
 
@@ -361,6 +426,7 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 	}
 
 	before := e.snapshotMeters()
+	rBefore := snapshotResilience(e.Storage.Store(), e.Resilience)
 
 	spec, emitsPartials, err := e.buildScanSpec(ph, numFields)
 	if err != nil {
@@ -485,6 +551,9 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 			Ckpt:         ck,
 			Restore:      restore,
 		}
+		if e.Resilience != nil {
+			pipe.Health = e.Resilience.Health
+		}
 
 		attemptStart := len(result.Batches)
 		res, runErr := pipe.Run(ctx, func(b *columnar.Batch) error {
@@ -547,8 +616,10 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 	result.Stats.ReplayedBytes = replayed
 	result.Stats.RecoveryBytes += replayed
 	result.Stats.RecoveryTime += replayTime
+	foldResilience(&result.Stats, e.Storage.Store(), e.Resilience, rBefore)
 	result.Trace = tr
 	sampleMeterSeries(e.Cluster, tr, before)
+	sampleHealthSeries(tr, e.Resilience)
 	return &result, nil
 }
 
@@ -593,6 +664,9 @@ func addScanStats(dst *storage.ScanStats, s storage.ScanStats) {
 	dst.EncodedEvalSegments += s.EncodedEvalSegments
 	dst.DecodedBytes += s.DecodedBytes
 	dst.DecodedBytesSaved += s.DecodedBytesSaved
+	dst.SpeculativeMorsels += s.SpeculativeMorsels
+	dst.SpeculativeWins += s.SpeculativeWins
+	dst.SpeculativeBytes += s.SpeculativeBytes
 }
 
 func (e *DataFlowEngine) tableSchema(name string) (int, *columnar.Schema, error) {
@@ -872,6 +946,10 @@ func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]meter
 		Retries:          scan.Retries,
 		ReplicaFallbacks: scan.ReplicaFallbacks,
 		RecoveryBytes:    scan.RetryBytes,
+
+		SpeculativeMorsels: scan.SpeculativeMorsels,
+		SpeculativeWins:    scan.SpeculativeWins,
+		SpeculativeBytes:   scan.SpeculativeBytes,
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {

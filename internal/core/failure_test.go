@@ -22,7 +22,7 @@ func TestDataFlowDetectsCorruptSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := meta.SegmentKeys[len(meta.SegmentKeys)/2]
-	blob, err := df.Storage.Store().Get(key)
+	blob, err := df.Storage.Store().Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestVolcanoDetectsCorruptSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := meta.SegmentKeys[0]
-	blob, err := vo.Storage.Store().Get(key)
+	blob, err := vo.Storage.Store().Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}

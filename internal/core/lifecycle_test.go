@@ -244,7 +244,7 @@ func TestErrorPathReleasesAdmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := meta.SegmentKeys[len(meta.SegmentKeys)/2]
-	blob, err := df.Storage.Store().Get(key)
+	blob, err := df.Storage.Store().Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}

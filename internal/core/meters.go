@@ -3,7 +3,9 @@ package core
 import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // meterKey identifies one device or link meter.
@@ -56,6 +58,60 @@ func linkDelta(l *fabric.Link, before map[meterKey]meterSnap) (sim.Snapshot, sim
 	prev := before[meterKey{true, l.Name}]
 	delta := l.Meter.Snapshot().Sub(prev.m)
 	return delta, fabric.EffectiveBusy(delta.Busy, prev.lanes, l.LaneBusy())
+}
+
+// resilienceSnap captures the monotonic gray-failure counters a policy
+// and its object store accumulate, so a later fold isolates one query's
+// hedges, breaker trips and budget denials from the running totals.
+type resilienceSnap struct {
+	hedges    storage.HedgeStats
+	trips     int64
+	exhausted int64
+}
+
+// snapshotResilience captures the current counters; nil policy is fine
+// (the snapshot then only carries the store's hedge totals, which stay
+// flat with hedging disabled).
+func snapshotResilience(store *storage.ObjectStore, pol *resilience.Policy) resilienceSnap {
+	snap := resilienceSnap{hedges: store.Hedges()}
+	if pol != nil {
+		snap.trips = pol.Breakers.Trips()
+		snap.exhausted = pol.Budget.Exhausted()
+	}
+	return snap
+}
+
+// foldResilience sets (not adds — callers may re-fold over a wider
+// window) the stats' gray-failure counters to the delta since before.
+func foldResilience(st *ExecStats, store *storage.ObjectStore, pol *resilience.Policy, before resilienceSnap) {
+	h := store.Hedges().Sub(before.hedges)
+	st.HedgedReads = h.Hedged
+	st.HedgeWins = h.Wins
+	st.HedgeBytes = h.Bytes
+	if pol != nil {
+		st.BreakerTrips = pol.Breakers.Trips() - before.trips
+		st.RetryBudgetExhausted = pol.Budget.Exhausted() - before.exhausted
+	}
+}
+
+// sampleHealthSeries publishes the policy's per-key latency EWMAs and
+// deviations as trace metric series, one point at the trace makespan —
+// the operator-facing view of which device or stage is graying out.
+// Keys iterate sorted, so traced runs render deterministically.
+func sampleHealthSeries(tr *obs.Trace, pol *resilience.Policy) {
+	if !tr.Enabled() || pol == nil || pol.Health == nil {
+		return
+	}
+	mk := tr.Makespan()
+	for _, key := range pol.Health.Keys() {
+		lat, ok := pol.Health.Latency(key)
+		if !ok {
+			continue
+		}
+		dev, _ := pol.Health.Deviation(key)
+		tr.Sample("health."+key+".ewma", "ns", mk, float64(lat))
+		tr.Sample("health."+key+".dev", "ns", mk, float64(dev))
+	}
 }
 
 // sampleMeterSeries snapshots every cluster meter's query-lifecycle

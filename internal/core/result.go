@@ -139,6 +139,34 @@ type ExecStats struct {
 	// work charged after the last completed checkpoint of a failed
 	// attempt. Always a subset of RecoveryBytes.
 	ReplayedBytes sim.Bytes
+
+	// Gray-failure defense accounting. Hedges and speculation trade a
+	// bounded amount of duplicate work for tail latency; these counters
+	// make that trade auditable per query (E24 reports it per arm).
+
+	// HedgedReads counts object reads that launched a second-replica
+	// hedge after the primary stalled past its health threshold.
+	HedgedReads int64
+	// HedgeWins counts hedges whose duplicate finished first.
+	HedgeWins int64
+	// HedgeBytes is the media payload the hedge duplicates read — extra
+	// work whether or not the hedge won (the main byte totals never
+	// include it).
+	HedgeBytes sim.Bytes
+	// SpeculativeMorsels counts scan morsels re-issued to a second
+	// worker after running past the speculation threshold.
+	SpeculativeMorsels int64
+	// SpeculativeWins counts morsels whose speculative copy delivered.
+	SpeculativeWins int64
+	// SpeculativeBytes is the duplicate media payload speculation read
+	// (losing copies only; logical scan totals count each morsel once).
+	SpeculativeBytes sim.Bytes
+	// BreakerTrips counts circuit breakers that newly tripped open.
+	BreakerTrips int64
+	// RetryBudgetExhausted counts retries/hedges the global retry budget
+	// denied — the back-pressure that keeps fault storms from melting
+	// into retry storms.
+	RetryBudgetExhausted int64
 }
 
 // String summarizes the stats on a few lines.
@@ -154,6 +182,12 @@ func (s ExecStats) String() string {
 		fmt.Fprintf(&b, "  recovery: retries=%d fallbacks=%d failovers=%d restarts=%d degraded=%v waste=%s/%s replayed=%s\n",
 			s.Retries, s.ReplicaFallbacks, s.Failovers, s.PartialRestarts, s.DegradedPlacement,
 			s.RecoveryBytes, s.RecoveryTime, s.ReplayedBytes)
+	}
+	if s.HedgedReads > 0 || s.SpeculativeMorsels > 0 || s.BreakerTrips > 0 || s.RetryBudgetExhausted > 0 {
+		fmt.Fprintf(&b, "  gray-failure: hedged=%d/%d wins (%s) speculated=%d/%d wins (%s) trips=%d budget-denied=%d\n",
+			s.HedgeWins, s.HedgedReads, s.HedgeBytes,
+			s.SpeculativeWins, s.SpeculativeMorsels, s.SpeculativeBytes,
+			s.BreakerTrips, s.RetryBudgetExhausted)
 	}
 	names := make([]string, 0, len(s.LinkBytes))
 	for n := range s.LinkBytes {

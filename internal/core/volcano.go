@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -43,6 +44,12 @@ type VolcanoEngine struct {
 	// scales worse than the dataflow engine (E22). Results and metered
 	// totals are identical to Workers == 1. Tracing forces serial.
 	Workers int
+
+	// Resilience, wired via EnableResilience, gives the baseline the one
+	// gray-failure defense its pull model can host: hedged replica reads
+	// in the object store. (Speculative re-execution and breaker-steered
+	// placement need the dataflow engine's morsels and plan variants.)
+	Resilience *resilience.Policy
 
 	node int
 	cpu  *fabric.Device
@@ -84,7 +91,7 @@ func (e *VolcanoEngine) fetchPage(ctx context.Context, id bufferpool.PageID) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	blob, err := e.Storage.Store().Get(string(id))
+	blob, err := e.Storage.Store().Get(ctx, string(id))
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +140,15 @@ func (e *VolcanoEngine) span(name, track string, kind obs.SpanKind, cost sim.VTi
 		Name: name, Track: track, Kind: kind,
 		Start: start, End: e.clock.Advance(cost), Bytes: n,
 	})
+}
+
+// EnableResilience installs (or removes, with nil) a gray-failure
+// policy on the baseline's object store: replica reads hedge and the
+// health tracker learns per-replica latency. The pull engine has no
+// scheduler or morsel scan, so breakers and speculation do not apply.
+func (e *VolcanoEngine) EnableResilience(p *resilience.Policy) {
+	e.Resilience = p
+	e.Storage.Store().Resilience = p
 }
 
 // CreateTable registers a table.
@@ -223,6 +239,7 @@ func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, er
 
 	before := e.snapshotMeters()
 	recBefore := e.Storage.Store().Recovery()
+	rBefore := snapshotResilience(e.Storage.Store(), e.Resilience)
 
 	// Scan: pull each segment through the buffer pool, decode on the
 	// CPU, then stream the decoded batch from DRAM into the cores at
@@ -322,6 +339,8 @@ func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, er
 	res.Stats.Retries = rec.Retries
 	res.Stats.ReplicaFallbacks = rec.ReplicaFallbacks
 	res.Stats.RecoveryBytes = rec.RetryBytes
+	foldResilience(&res.Stats, e.Storage.Store(), e.Resilience, rBefore)
+	sampleHealthSeries(tr, e.Resilience)
 	return res, nil
 }
 

@@ -45,3 +45,13 @@ func BenchmarkE23EncodedEval(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE24TailLatency(b *testing.B) {
+	opts := E24Options{Severities: []float64{1, 8}, Trials: 3,
+		Workers: 2, Segments: 12}
+	for i := 0; i < b.N; i++ {
+		if _, err := E24TailLatency(3000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,6 +31,13 @@ type Table struct {
 	// DecodedBytesSaved totals the decode bytes late materialization
 	// avoided across the run, for the -json artifact.
 	DecodedBytesSaved int64
+	// Gray-failure defense totals (E24), for the -json artifact: how
+	// often the run hedged reads, speculated on morsels, tripped circuit
+	// breakers or hit the retry budget.
+	HedgedReads          int64
+	SpeculativeMorsels   int64
+	BreakerTrips         int64
+	RetryBudgetExhausted int64
 }
 
 // AddRow appends a row built from the given cells.

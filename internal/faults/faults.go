@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -46,6 +47,15 @@ const (
 	LinkFlap
 	// SlowStage delays a pipeline stage, exercising the flow watchdog.
 	SlowStage
+	// DegradedDevice is a gray failure: the target keeps serving but
+	// every matching operation runs Severity times slower. Nothing ever
+	// errors, so only tail-latency defenses (hedging, speculation)
+	// mitigate it.
+	DegradedDevice
+	// JitterLink adds Severity x the base latency to matching transfers
+	// on a fabric link — a congested or flapping-PHY link that still
+	// delivers every payload.
+	JitterLink
 )
 
 // String names the kind.
@@ -53,6 +63,7 @@ func (k Kind) String() string {
 	names := [...]string{
 		"transient-read", "corrupt-blob", "object-missing",
 		"device-offline", "link-flap", "slow-stage",
+		"degraded-device", "jitter-link",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -76,6 +87,12 @@ type Point struct {
 	// mid-stream — e.g. after a checkpoint epoch has completed — instead
 	// of on the first batch. 0 means eligible immediately.
 	After int
+	// Severity scales gray-failure kinds: a DegradedDevice fire makes
+	// the operation take Severity x its base latency; a JitterLink fire
+	// adds Severity x the base latency on top. Ignored by the
+	// error-injecting kinds. Values at or below 1 make DegradedDevice a
+	// no-op.
+	Severity float64
 }
 
 // Event records one fired fault: fire number Seq of armed point Point.
@@ -142,6 +159,12 @@ func (in *Injector) Arm(p Point) {
 func (in *Injector) Fire(kind Kind, target string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.fireLocked(kind, target) != nil
+}
+
+// fireLocked walks the armed points for a matching fire and returns the
+// point that fired, or nil. Callers hold in.mu.
+func (in *Injector) fireLocked(kind Kind, target string) *armedPoint {
 	for i, ap := range in.points {
 		if ap.Kind != kind || ap.Prob <= 0 {
 			continue
@@ -162,9 +185,44 @@ func (in *Injector) Fire(kind Kind, target string) bool {
 		ap.fires++
 		in.total++
 		ap.events = append(ap.events, Event{Point: i, Seq: ap.fires, Kind: kind, Target: target})
-		return true
+		return ap
 	}
-	return false
+	return nil
+}
+
+// Slowdown asks whether a gray-failure fault of the given kind strikes
+// the target now and, if so, returns the extra delay to add to an
+// operation whose healthy latency is base: DegradedDevice stretches the
+// operation to Severity x base (extra = base x (Severity-1)), JitterLink
+// adds Severity x base on top. The extra delay is a deterministic
+// function of the armed point — no randomness beyond the fire decision
+// itself — so fixed-probability points yield byte-identical delay
+// schedules under any goroutine interleaving. A zero return means the
+// operation proceeds at full health.
+func (in *Injector) Slowdown(kind Kind, target string, base time.Duration) time.Duration {
+	if in == nil || base <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	ap := in.fireLocked(kind, target)
+	in.mu.Unlock()
+	if ap == nil {
+		return 0
+	}
+	sev := ap.Severity
+	switch kind {
+	case DegradedDevice:
+		if sev <= 1 {
+			return 0
+		}
+		return time.Duration(float64(base) * (sev - 1))
+	case JitterLink:
+		if sev <= 0 {
+			return 0
+		}
+		return time.Duration(float64(base) * sev)
+	}
+	return 0
 }
 
 // Events returns a copy of the fired-fault log: points in arm order,
@@ -237,9 +295,13 @@ func (e *FaultError) Error() string {
 }
 
 // Transient reports whether retrying the failed operation can succeed.
+// The gray-failure kinds are transient: a degraded device or jittery
+// link still serves, so any error surfaced around them (a deadline
+// blown by the slowdown, a hedge losing its race) is worth retrying
+// elsewhere rather than failing the query.
 func (e *FaultError) Transient() bool {
 	switch e.Kind {
-	case TransientRead, ObjectMissing, LinkFlap, SlowStage:
+	case TransientRead, ObjectMissing, LinkFlap, SlowStage, DegradedDevice, JitterLink:
 		return true
 	}
 	return false

@@ -199,12 +199,14 @@ func (p *Pipeline) runStageParallel(r *stageRun) {
 				cost = st.Device.ChargeLane(st.Op, sim.Bytes(item.b.ByteSize()), int(item.seq%int64(r.w)))
 			}
 			sr := stageResult{seq: item.seq}
-			r.busy[wi].Store(time.Now().UnixNano())
+			procStart := time.Now()
+			r.busy[wi].Store(procStart.UnixNano())
 			sr.err = insts[wi].Process(item.b, func(ob *columnar.Batch) error {
 				sr.outs = append(sr.outs, ob)
 				return nil
 			})
 			r.busy[wi].Store(0)
+			p.observeStage(st.Device, procStart)
 			if r.ts != nil {
 				sr.input = obs.TapeInput{
 					Bytes: sim.Bytes(item.b.ByteSize()),

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -101,6 +102,20 @@ type Pipeline struct {
 	// snapshots into the (freshly built) stages before the run starts.
 	// The source must separately resume from the epoch's watermark.
 	Restore *Restore
+	// Health, when non-nil, observes every batch's wall-clock Process
+	// latency keyed "stage/<device>" — the per-device straggler signal
+	// gray-failure detection feeds on. Latencies are real time, not
+	// virtual: an injected slow device shows up here even though its
+	// metered costs are unchanged.
+	Health *resilience.Tracker
+}
+
+// observeStage feeds one batch's stage latency into the health tracker.
+func (p *Pipeline) observeStage(dev *fabric.Device, start time.Time) {
+	if p.Health == nil || dev == nil {
+		return
+	}
+	p.Health.Observe("stage/"+dev.Name, time.Since(start))
 }
 
 // Result reports what a pipeline run did.
@@ -440,9 +455,11 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 					cost = st.Device.Charge(st.Op, sim.Bytes(b.ByteSize()))
 				}
 				before := res.BatchesOut[i]
-				busySince[i][0].Store(time.Now().UnixNano())
+				procStart := time.Now()
+				busySince[i][0].Store(procStart.UnixNano())
 				perr := st.Stage.Process(b, out)
 				busySince[i][0].Store(0)
+				p.observeStage(st.Device, procStart)
 				if perr != nil {
 					fail(perr)
 					in.CreditReturn()

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracker keeps per-key latency health: an exponentially weighted moving
+// average plus an EWMA of the absolute deviation, the classic cheap
+// substitute for a latency quantile (mean + k*deviation approximates a
+// high percentile without histograms). Keys are free-form — replica
+// names, device names, "stage/device" pairs — so one tracker can serve
+// storage, flow and sched at once. All methods are safe for concurrent
+// use; a nil *Tracker is a valid no-op tracker.
+type Tracker struct {
+	mu    sync.Mutex
+	alpha float64
+	min   int
+	stats map[string]*healthStat
+}
+
+type healthStat struct {
+	ewma    float64 // nanoseconds
+	dev     float64 // EWMA of |sample - ewma|, nanoseconds
+	samples int64
+}
+
+// NewTracker returns a tracker whose EWMAs move by alpha per sample
+// (clamped into (0, 1]) and whose estimates are reported only after
+// minSamples observations per key.
+func NewTracker(alpha float64, minSamples int) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	return &Tracker{alpha: alpha, min: minSamples, stats: make(map[string]*healthStat)}
+}
+
+// Observe folds one completed operation's latency into key's stats.
+func (t *Tracker) Observe(key string, d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil {
+		st = &healthStat{}
+		t.stats[key] = st
+	}
+	x := float64(d)
+	if st.samples == 0 {
+		st.ewma = x
+	} else {
+		diff := x - st.ewma
+		if diff < 0 {
+			diff = -diff
+		}
+		st.dev += t.alpha * (diff - st.dev)
+		st.ewma += t.alpha * (x - st.ewma)
+	}
+	st.samples++
+}
+
+// Latency reports key's EWMA latency and whether enough samples back it.
+func (t *Tracker) Latency(key string) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil || st.samples < int64(t.min) {
+		return 0, false
+	}
+	return time.Duration(st.ewma), true
+}
+
+// Threshold reports ewma + k*deviation for key — the hedge/straggler
+// trigger — and whether enough samples back it.
+func (t *Tracker) Threshold(key string, k float64) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil || st.samples < int64(t.min) {
+		return 0, false
+	}
+	return time.Duration(st.ewma + k*st.dev), true
+}
+
+// Deviation reports key's EWMA absolute deviation and whether enough
+// samples back it.
+func (t *Tracker) Deviation(key string) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil || st.samples < int64(t.min) {
+		return 0, false
+	}
+	return time.Duration(st.dev), true
+}
+
+// Samples reports how many observations key has accumulated.
+func (t *Tracker) Samples(key string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil {
+		return 0
+	}
+	return st.samples
+}
+
+// Keys returns every tracked key in sorted order, for stable export
+// into metric series.
+func (t *Tracker) Keys() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.stats))
+	for k := range t.stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Rank orders keys by ascending EWMA latency: healthiest first. Keys
+// without enough samples keep their incoming relative order and sort
+// before sampled keys, so cold replicas are probed first and the
+// ordering is deterministic from the first read. The slice is sorted in
+// place and returned.
+func (t *Tracker) Rank(keys []string) []string {
+	if t == nil {
+		return keys
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, aok := t.stats[keys[i]], false
+		b, bok := t.stats[keys[j]], false
+		if a != nil && a.samples >= int64(t.min) {
+			aok = true
+		}
+		if b != nil && b.samples >= int64(t.min) {
+			bok = true
+		}
+		if aok != bok {
+			return !aok // unsampled first: probe cold replicas
+		}
+		if !aok {
+			return false // both cold: keep incoming order
+		}
+		return a.ewma < b.ewma
+	})
+	return keys
+}

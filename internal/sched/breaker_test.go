@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/resilience"
+)
+
+// differingDevice returns a device name placed by a but not by b, so a
+// penalty against it steers admission between the two variants.
+func differingDevice(t *testing.T, a, b *plan.Physical) string {
+	t.Helper()
+	other := map[string]bool{}
+	for _, name := range b.PlacedDevices() {
+		other[name] = true
+	}
+	for _, name := range a.PlacedDevices() {
+		if !other[name] {
+			return name
+		}
+	}
+	t.Fatal("variants place work on identical device sets")
+	return ""
+}
+
+func TestBreakerSteersAdmission(t *testing.T) {
+	_, v0, v1 := twoNodeVariants(t)
+	dev := differingDevice(t, v0[1], v1[1])
+
+	s := New()
+	s.Breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		TripThreshold: 1, Cooldown: time.Hour, HalfOpenProbes: 1,
+	})
+	s.Breakers.Failure(dev) // trips: threshold is 1
+
+	mixed := []*plan.Physical{v0[1], v1[1]}
+	adm, err := s.Admit(context.Background(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Plan != v1[1] {
+		t.Errorf("admission kept the circuit-broken variant %q", adm.Variant)
+	}
+	s.Release(adm)
+
+	// With no healthy alternative the broken variant still serves —
+	// breakers degrade admission to serve-slow, never to shedding.
+	adm, err = s.Admit(context.Background(), []*plan.Physical{v0[1]})
+	if err != nil {
+		t.Fatalf("breaker shed the only variant: %v", err)
+	}
+	s.Release(adm)
+}
+
+func TestBreakerHalfOpenProbesViaAdmission(t *testing.T) {
+	_, v0, v1 := twoNodeVariants(t)
+	dev := differingDevice(t, v0[1], v1[1])
+
+	now := time.Unix(0, 0)
+	s := New()
+	s.Breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		TripThreshold: 1, Cooldown: time.Second, HalfOpenProbes: 1,
+	})
+	s.Breakers.SetClock(func() time.Time { return now })
+	s.Breakers.Failure(dev)
+
+	mixed := []*plan.Physical{v0[1], v1[1]}
+	adm, err := s.Admit(context.Background(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Plan != v1[1] {
+		t.Fatal("open breaker did not steer away")
+	}
+	s.Release(adm)
+
+	// After the cooldown, admission's Allow stream half-opens the
+	// breaker and the probe admits the device again.
+	now = now.Add(2 * time.Second)
+	adm, err = s.Admit(context.Background(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Plan != v0[1] {
+		t.Errorf("half-open probe did not readmit the top-ranked variant (chose %q)", adm.Variant)
+	}
+	if got := s.Breakers.State(dev); got != resilience.HalfOpen {
+		t.Errorf("breaker state = %v, want half-open", got)
+	}
+	// The engine reports the probe's outcome; success closes.
+	s.Breakers.Success(dev)
+	if got := s.Breakers.State(dev); got != resilience.Closed {
+		t.Errorf("breaker state after probe success = %v, want closed", got)
+	}
+	s.Release(adm)
+}
+
+func TestDegradedPenaltySteersAdmission(t *testing.T) {
+	c, v0, v1 := twoNodeVariants(t)
+	dev := differingDevice(t, v0[1], v1[1])
+	d := c.Device(dev)
+	if d == nil {
+		t.Fatalf("unknown device %q", dev)
+	}
+	d.SetDegraded(true)
+	defer d.SetDegraded(false)
+
+	s := New()
+	mixed := []*plan.Physical{v0[1], v1[1]}
+	adm, err := s.Admit(context.Background(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Plan != v1[1] {
+		t.Errorf("admission kept a gray-degraded device (chose %q)", adm.Variant)
+	}
+	s.Release(adm)
+
+	// Healthy again: the top-ranked variant wins as before.
+	d.SetDegraded(false)
+	adm, err = s.Admit(context.Background(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Plan != v0[1] {
+		t.Errorf("healthy device still penalized (chose %q)", adm.Variant)
+	}
+	s.Release(adm)
+}

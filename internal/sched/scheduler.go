@@ -21,6 +21,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -100,6 +101,23 @@ type Scheduler struct {
 	// device (scaled by the oversubscription ratio); 0 disables worker-
 	// slot awareness.
 	WorkerSlotPenalty float64
+	// Breakers, when set, consults a per-device circuit breaker at
+	// admission: a variant placing work on a device whose breaker
+	// rejects it (open, or half-open with its probe slots spent) is
+	// penalized by BreakerPenalty per such device rather than banned, so
+	// a fabric whose every variant is broken degrades to serve-slow
+	// instead of shedding. Allow is asked once per distinct device per
+	// admission, which doubles as the half-open probe stream; the
+	// engines report the executed plan's outcomes back via
+	// Success/Failure.
+	Breakers *resilience.BreakerSet
+	// BreakerPenalty is the rank-score penalty per breaker-rejected
+	// device a variant places work on.
+	BreakerPenalty float64
+	// DegradedPenalty is the rank-score penalty per gray-failed device
+	// (fabric.Device.IsDegraded) a variant places work on: slow-but-
+	// alive devices lose ties to healthy ones without being excluded.
+	DegradedPenalty float64
 
 	failures    map[string]float64 // device name -> decayed failover score
 	deviceSlots map[string]int     // device name -> worker slots held by active plans
@@ -125,6 +143,15 @@ const DefaultFailureDecay = 0.8
 // a saturated device is forgiven within ~20 admissions.
 const DefaultMaxFailureScore = 8.0
 
+// DefaultBreakerPenalty outweighs several rank positions plus typical
+// contention: a tripped device only wins when no healthy variant exists.
+const DefaultBreakerPenalty = 4.0
+
+// DefaultDegradedPenalty sits between contention and failure penalties:
+// a gray-failed device loses ties but is not shunned as hard as one
+// that errored outright.
+const DefaultDegradedPenalty = 2.0
+
 // New returns an empty scheduler with fair sharing enabled and no
 // admission bound (set MaxActive to enable overload control).
 func New() *Scheduler {
@@ -138,6 +165,8 @@ func New() *Scheduler {
 		FailureDecay:      DefaultFailureDecay,
 		MaxFailureScore:   DefaultMaxFailureScore,
 		WorkerSlotPenalty: 1.0,
+		BreakerPenalty:    DefaultBreakerPenalty,
+		DegradedPenalty:   DefaultDegradedPenalty,
 		FairShare:         true,
 	}
 }
@@ -317,6 +346,25 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// Ask each distinct device's breaker once per admission — the
+	// consolidated answer scores every variant, and the Allow stream
+	// doubles as half-open probing (unclaimed probe slots replenish
+	// after a cooldown).
+	blocked := map[string]bool{}
+	if s.Breakers != nil {
+		asked := map[string]bool{}
+		for _, v := range variants {
+			for _, d := range variantDevices(v) {
+				if asked[d.Name] {
+					continue
+				}
+				asked[d.Name] = true
+				if !s.Breakers.Allow(d.Name) {
+					blocked[d.Name] = true
+				}
+			}
+		}
+	}
 	var scores []scored
 	for i, v := range variants {
 		if variantOffline(v) {
@@ -333,15 +381,25 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 		// Worker-slot pressure: placing this plan's worker pool on a
 		// device already holding slots beyond its replicated units
 		// serializes both plans' lanes; penalize by how far over.
-		over := 0.0
+		// Breaker-rejected and gray-degraded devices are scored down,
+		// not banned: when every variant is broken, the least-broken
+		// one still serves (slow) instead of shedding the query.
+		over, broken, degraded := 0.0, 0.0, 0.0
 		for _, d := range variantDevices(v) {
 			u := d.Units()
 			if load := s.deviceSlots[d.Name] + workers; load > u {
 				over += float64(load-u) / float64(u)
 			}
+			if blocked[d.Name] {
+				broken++
+			}
+			if d.IsDegraded() {
+				degraded++
+			}
 		}
 		cost := float64(i) + s.ContentionPenalty*float64(contention) +
-			s.FailurePenalty*failed + s.WorkerSlotPenalty*over
+			s.FailurePenalty*failed + s.WorkerSlotPenalty*over +
+			s.BreakerPenalty*broken + s.DegradedPenalty*degraded
 		scores = append(scores, scored{idx: i, cost: cost})
 	}
 	if len(scores) == 0 {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -21,14 +23,34 @@ import (
 // blob and Get falls back across them, retrying transient faults with
 // bounded exponential backoff. Faults, when set, injects read-path
 // faults so experiments can measure the cost of that recovery.
+//
+// Gray-failure machinery: BaseLatency models the healthy per-read
+// service time, which DegradedDevice faults stretch per replica. When
+// Resilience is set, reads prefer the healthiest replica (EWMA latency
+// ranking) and, with Resilience.Hedge, race a second replica after a
+// deviation-scaled delay — taking the first success and cancelling the
+// loser. Hedge-side work is metered separately (HedgeStats), so the
+// main Meter's totals are identical whether or not a losing hedge ran.
 type ObjectStore struct {
 	mu      sync.RWMutex
 	objects map[string][][]byte // one entry per replica, len >= 1
 	reps    int
 	Meter   sim.Meter
 
+	// Name prefixes the per-replica fault targets ("<name>/r<i>/<key>")
+	// that gray-failure points match against.
+	Name string
+	// BaseLatency is the healthy wall-clock service time of one replica
+	// read. Zero (the default) keeps reads instantaneous; experiments
+	// that measure tail latency set it so DegradedDevice multipliers
+	// have a base to stretch.
+	BaseLatency time.Duration
+	// Resilience enables health-ranked replica selection, hedged reads
+	// and retry-budget enforcement. Nil disables all three.
+	Resilience *resilience.Policy
+
 	// Faults injects read-path faults (transient errors, corrupt blobs,
-	// missing objects). Nil means a fault-free store.
+	// missing objects, degraded replicas). Nil means a fault-free store.
 	Faults *faults.Injector
 	// MaxRetries bounds the per-replica retries of a transient read
 	// fault before falling back to the next replica; 0 disables retry,
@@ -41,6 +63,11 @@ type ObjectStore struct {
 	retries    atomic.Int64
 	fallbacks  atomic.Int64
 	retryBytes atomic.Int64
+
+	hedged     atomic.Int64
+	hedgeWins  atomic.Int64
+	hedgeOps   atomic.Int64
+	hedgeBytes atomic.Int64
 }
 
 // DefaultMaxRetries is the retry bound of a freshly built store.
@@ -51,6 +78,7 @@ func NewObjectStore() *ObjectStore {
 	return &ObjectStore{
 		objects:    make(map[string][][]byte),
 		reps:       1,
+		Name:       "store",
 		MaxRetries: DefaultMaxRetries,
 		RetryBase:  50 * time.Microsecond,
 	}
@@ -92,18 +120,70 @@ func (o *ObjectStore) Put(key string, data []byte) {
 
 // Get returns a defensive copy of the blob stored under key; callers may
 // mutate the result freely. Reads fall back across replicas and retry
-// transient faults with bounded exponential backoff.
-func (o *ObjectStore) Get(key string) ([]byte, error) {
-	return o.get(key, true)
+// transient faults with bounded exponential backoff; retry sleeps honor
+// ctx, so an expired deadline surfaces immediately instead of after the
+// backoff.
+func (o *ObjectStore) Get(ctx context.Context, key string) ([]byte, error) {
+	return o.get(ctx, key, true)
 }
 
 // GetNoCopy is the metered hot path: it returns the stored slice itself,
 // which the caller must not modify. Recovery behaviour matches Get.
-func (o *ObjectStore) GetNoCopy(key string) ([]byte, error) {
-	return o.get(key, false)
+func (o *ObjectStore) GetNoCopy(ctx context.Context, key string) ([]byte, error) {
+	return o.get(ctx, key, false)
 }
 
-func (o *ObjectStore) get(key string, copyOut bool) ([]byte, error) {
+// replicaKey names replica r for fault targeting and health tracking.
+func (o *ObjectStore) replicaKey(r int) string {
+	return fmt.Sprintf("%s/r%d", o.Name, r)
+}
+
+// replicaOrder returns the replica indices to try, healthiest first
+// when health tracking is on and natural order otherwise.
+func (o *ObjectStore) replicaOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	pol := o.Resilience
+	if pol == nil || pol.Health == nil || n < 2 {
+		return order
+	}
+	keys := make([]string, n)
+	byKey := make(map[string]int, n)
+	for i := range keys {
+		keys[i] = o.replicaKey(i)
+		byKey[keys[i]] = i
+	}
+	for i, k := range pol.Health.Rank(keys) {
+		order[i] = byKey[k]
+	}
+	return order
+}
+
+// readMeter accumulates one read attempt chain's metering locally so the
+// caller decides whether it lands on the main Meter (primary work) or
+// the hedge counters (hedge-side work).
+type readMeter struct {
+	ops   int64
+	bytes sim.Bytes
+}
+
+func (o *ObjectStore) foldMain(m *readMeter) {
+	if m.ops != 0 {
+		o.Meter.AddOps(m.ops)
+	}
+	if m.bytes != 0 {
+		o.Meter.AddBytes(m.bytes)
+	}
+}
+
+func (o *ObjectStore) foldHedge(m *readMeter) {
+	o.hedgeOps.Add(m.ops)
+	o.hedgeBytes.Add(int64(m.bytes))
+}
+
+func (o *ObjectStore) get(ctx context.Context, key string, copyOut bool) ([]byte, error) {
 	o.mu.RLock()
 	copies, ok := o.objects[key]
 	o.mu.RUnlock()
@@ -111,39 +191,239 @@ func (o *ObjectStore) get(key string, copyOut bool) ([]byte, error) {
 		// The object genuinely does not exist on any replica: permanent.
 		return nil, fmt.Errorf("storage: object %q not found", key)
 	}
+	order := o.replicaOrder(len(copies))
+	pol := o.Resilience
+	if pol != nil && pol.Hedge && len(order) >= 2 {
+		return o.getHedged(ctx, key, copies, order, copyOut)
+	}
+	return o.getSequential(ctx, key, copies, order, copyOut)
+}
+
+// getSequential walks the replicas in order, running the full retry
+// loop against each; the pre-resilience read path.
+func (o *ObjectStore) getSequential(ctx context.Context, key string, copies [][]byte, order []int, copyOut bool) ([]byte, error) {
 	var lastErr error
-	for r := range copies {
-		if r > 0 {
+	for i, r := range order {
+		if i > 0 {
 			o.fallbacks.Add(1)
 		}
-		for attempt := 0; ; attempt++ {
-			data, err := o.readReplica(key, copies[r], copyOut)
-			if err == nil {
-				if r > 0 || attempt > 0 {
-					o.retryBytes.Add(int64(len(data)))
-				}
-				return data, nil
+		var m readMeter
+		data, err := o.readLoop(ctx, key, r, copies[r], copyOut, i > 0, true, &m)
+		o.foldMain(&m)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if ctx != nil && ctx.Err() != nil {
+			break // cancelled mid-read: stop burning replicas
+		}
+	}
+	return nil, lastErr
+}
+
+// getHedged races the best replica against the second-best: the primary
+// read starts immediately, and if it has not completed after a
+// deviation-scaled delay (and the retry budget grants a token), the
+// hedge read starts on the next replica. The first success wins and the
+// loser is cancelled and drained — never leaked. Primary-side metering
+// lands on the main Meter; hedge-side metering lands only on the hedge
+// counters, so a losing hedge leaves the main Meter byte-identical to
+// an unhedged read.
+func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte, order []int, copyOut bool) ([]byte, error) {
+	pol := o.Resilience
+	prim, sec := order[0], order[1]
+
+	// The hedge fires at the primary replica's ewma + k*dev when enough
+	// history backs it, floored at HedgeMinDelay (and at 2x the healthy
+	// service time) so a cold or very tight history cannot double every
+	// read.
+	delay := pol.HedgeMinDelay
+	if d := 2 * o.BaseLatency; d > delay {
+		delay = d
+	}
+	if th, ok := pol.Health.Threshold(o.replicaKey(prim), pol.HedgeK); ok && th > delay {
+		delay = th
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan raceResult, 2)
+	launch := func(r int, hedge bool) {
+		go func() {
+			var m readMeter
+			data, err := o.readLoop(rctx, key, r, copies[r], copyOut, false, !hedge, &m)
+			ch <- raceResult{data: data, err: err, m: m, hedge: hedge}
+		}()
+	}
+	launch(prim, false)
+	inflight := 1
+	hedgeLaunched := false
+	hedgeDecided := false
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var winner *raceResult
+	var lastErr error
+	for inflight > 0 && winner == nil {
+		if hedgeDecided {
+			res := <-ch
+			inflight--
+			if res.err == nil {
+				winner = &res
+			} else {
+				lastErr = res.err
+				o.foldRace(&res, false)
 			}
-			lastErr = err
-			retryable := faults.IsTransient(err)
-			if fe, isFault := err.(*faults.FaultError); isFault && fe.Kind == faults.ObjectMissing {
-				// A missing replica will not reappear: go to the next one.
-				retryable = false
+			continue
+		}
+		select {
+		case res := <-ch:
+			inflight--
+			if res.err == nil {
+				winner = &res
+			} else {
+				lastErr = res.err
+				o.foldRace(&res, false)
 			}
-			if !retryable || attempt >= o.MaxRetries {
-				break
+		case <-timer.C:
+			hedgeDecided = true
+			if pol.Budget.TryAcquire() {
+				o.hedged.Add(1)
+				launch(sec, true)
+				hedgeLaunched = true
+				inflight++
 			}
+		}
+	}
+
+	if winner != nil {
+		cancel()
+		// Drain the loser so nothing leaks past return; cancellation
+		// unblocks its injected sleeps promptly.
+		for inflight > 0 {
+			res := <-ch
+			inflight--
+			o.foldRace(&res, false)
+		}
+		o.foldRace(winner, true)
+		return winner.data, nil
+	}
+
+	// Both racers failed (or the primary failed before the hedge was
+	// worth launching): fall back over the remaining replicas in order.
+	rest := order[1:]
+	if hedgeLaunched {
+		rest = order[2:]
+	}
+	for _, r := range rest {
+		o.fallbacks.Add(1)
+		var m readMeter
+		data, err := o.readLoop(ctx, key, r, copies[r], copyOut, true, true, &m)
+		o.foldMain(&m)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// raceResult is one hedged-race participant's outcome.
+type raceResult struct {
+	data  []byte
+	err   error
+	m     readMeter
+	hedge bool
+}
+
+// foldRace lands one race participant's metering: primary work on the
+// main Meter, hedge work on the hedge counters. won marks the result
+// the caller returned to its client.
+func (o *ObjectStore) foldRace(res *raceResult, won bool) {
+	if res.hedge {
+		o.foldHedge(&res.m)
+		if won {
+			o.hedgeWins.Add(1)
+		}
+		return
+	}
+	o.foldMain(&res.m)
+}
+
+// readLoop runs the retry loop against one replica, charging into m.
+// fallback marks reads past the first-choice replica (for RetryBytes
+// accounting); countRecovery gates the shared recovery counters so
+// hedge-side retries do not perturb the Recovery stats of the primary
+// path.
+func (o *ObjectStore) readLoop(ctx context.Context, key string, r int, data []byte, copyOut, fallback, countRecovery bool, m *readMeter) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, err := o.readReplica(ctx, key, r, data, copyOut, m)
+		if err == nil {
+			if fallback || attempt > 0 {
+				o.retryBytes.Add(int64(len(out)))
+			}
+			return out, nil
+		}
+		lastErr = err
+		retryable := faults.IsTransient(err)
+		if fe, isFault := err.(*faults.FaultError); isFault && fe.Kind == faults.ObjectMissing {
+			// A missing replica will not reappear: go to the next one.
+			retryable = false
+		}
+		if ctx != nil && ctx.Err() != nil {
+			retryable = false
+		}
+		if !retryable || attempt >= o.MaxRetries {
+			break
+		}
+		if pol := o.Resilience; pol != nil && !pol.Budget.TryAcquire() {
+			// Retry budget exhausted: shed the retry instead of
+			// amplifying a fault storm.
+			break
+		}
+		if countRecovery {
 			o.retries.Add(1)
-			o.backoff(attempt)
+		}
+		if err := o.backoff(ctx, attempt); err != nil {
+			return nil, err
 		}
 	}
 	return nil, lastErr
 }
 
 // readReplica is one read attempt against one replica, with faults
-// injected between the request and the returned bytes.
-func (o *ObjectStore) readReplica(key string, data []byte, copyOut bool) ([]byte, error) {
-	o.Meter.AddOps(1)
+// injected between the request and the returned bytes. The healthy
+// service time (BaseLatency) plus any injected DegradedDevice stretch
+// is slept for real — gray failures are wall-clock phenomena — and the
+// sleep honors ctx so cancelled hedges and expired deadlines return
+// immediately.
+func (o *ObjectStore) readReplica(ctx context.Context, key string, r int, data []byte, copyOut bool, m *readMeter) ([]byte, error) {
+	m.ops++
+	start := time.Now()
+	delay := o.BaseLatency
+	if o.Faults != nil {
+		delay += o.Faults.Slowdown(faults.DegradedDevice, o.replicaKey(r)+"/"+key, o.BaseLatency)
+	}
+	if err := sleepCtx(ctx, delay); err != nil {
+		// A read cancelled mid-service still taught us something: the
+		// replica held the request for at least this long. Feeding that
+		// lower bound into the health tracker is what demotes a gray
+		// replica whose reads only ever finish by losing hedge races —
+		// without it the replica stays unsampled and Rank keeps
+		// exploring it first.
+		if pol := o.Resilience; pol != nil {
+			pol.Health.Observe(o.replicaKey(r), time.Since(start))
+		}
+		return nil, err
+	}
 	if o.Faults != nil {
 		if o.Faults.Fire(faults.ObjectMissing, key) {
 			return nil, &faults.FaultError{Kind: faults.ObjectMissing, Target: key}
@@ -158,27 +438,64 @@ func (o *ObjectStore) readReplica(key string, data []byte, copyOut bool) ([]byte
 			if len(cp) > 0 {
 				cp[len(cp)/2] ^= 0x40
 			}
-			o.Meter.AddBytes(sim.Bytes(len(cp)))
+			m.bytes += sim.Bytes(len(cp))
+			o.observeRead(r, start)
 			return cp, nil
 		}
 	}
-	o.Meter.AddBytes(sim.Bytes(len(data)))
+	m.bytes += sim.Bytes(len(data))
+	o.observeRead(r, start)
 	if copyOut {
 		return append([]byte(nil), data...), nil
 	}
 	return data, nil
 }
 
-// backoff sleeps the bounded-exponential delay for the given attempt.
-func (o *ObjectStore) backoff(attempt int) {
-	if o.RetryBase <= 0 {
+// observeRead feeds one completed replica read into the health tracker
+// and credits the retry budget.
+func (o *ObjectStore) observeRead(r int, start time.Time) {
+	pol := o.Resilience
+	if pol == nil {
 		return
+	}
+	pol.Health.Observe(o.replicaKey(r), time.Since(start))
+	pol.Budget.ObserveOp()
+}
+
+// backoff sleeps the bounded-exponential delay for the given attempt,
+// returning early with ctx's error if the context expires mid-sleep.
+func (o *ObjectStore) backoff(ctx context.Context, attempt int) error {
+	if o.RetryBase <= 0 {
+		return nil
 	}
 	d := o.RetryBase << uint(attempt)
 	if max := o.RetryBase * 8; d > max {
 		d = max
 	}
-	time.Sleep(d)
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first,
+// returning ctx's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // RecoveryStats counts the store's recovery work so far.
@@ -208,6 +525,40 @@ func (o *ObjectStore) Recovery() RecoveryStats {
 		Retries:          o.retries.Load(),
 		ReplicaFallbacks: o.fallbacks.Load(),
 		RetryBytes:       sim.Bytes(o.retryBytes.Load()),
+	}
+}
+
+// HedgeStats counts the store's hedge-side work so far, metered apart
+// from the main Meter: a losing hedge never lands in the primary
+// byte/op totals.
+type HedgeStats struct {
+	// Hedged is the number of reads that launched a hedge.
+	Hedged int64
+	// Wins is the number of hedges whose result was returned.
+	Wins int64
+	// Ops is the number of hedge-side read attempts.
+	Ops int64
+	// Bytes is the payload read by hedge-side attempts (win or lose).
+	Bytes sim.Bytes
+}
+
+// Sub returns s minus prev, isolating one scan's hedging work.
+func (s HedgeStats) Sub(prev HedgeStats) HedgeStats {
+	return HedgeStats{
+		Hedged: s.Hedged - prev.Hedged,
+		Wins:   s.Wins - prev.Wins,
+		Ops:    s.Ops - prev.Ops,
+		Bytes:  s.Bytes - prev.Bytes,
+	}
+}
+
+// Hedges snapshots the store's cumulative hedge counters.
+func (o *ObjectStore) Hedges() HedgeStats {
+	return HedgeStats{
+		Hedged: o.hedged.Load(),
+		Wins:   o.hedgeWins.Load(),
+		Ops:    o.hedgeOps.Load(),
+		Bytes:  sim.Bytes(o.hedgeBytes.Load()),
 	}
 }
 

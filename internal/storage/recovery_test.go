@@ -16,12 +16,12 @@ import (
 func TestGetReturnsDefensiveCopy(t *testing.T) {
 	s := NewObjectStore()
 	s.Put("k", []byte("hello world!"))
-	a, err := s.Get("k")
+	a, err := s.Get(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
 	a[0] = 'X' // caller scribbles on the result
-	b, err := s.Get("k")
+	b, err := s.Get(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +29,11 @@ func TestGetReturnsDefensiveCopy(t *testing.T) {
 		t.Fatalf("stored blob mutated through Get result: %q", b)
 	}
 	// The metered hot path shares the stored array by contract.
-	c, err := s.GetNoCopy("k")
+	c, err := s.GetNoCopy(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := s.GetNoCopy("k")
+	d, err := s.GetNoCopy(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestTransientFaultRetries(t *testing.T) {
 	s.Faults = faults.New(42)
 	s.Faults.Arm(faults.Point{Kind: faults.TransientRead, Prob: 1, Budget: 2})
 	s.Put("k", []byte("payload"))
-	got, err := s.Get("k")
+	got, err := s.Get(context.Background(), "k")
 	if err != nil {
 		t.Fatalf("Get did not recover from transient faults: %v", err)
 	}
@@ -104,7 +104,7 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 	s.Faults = faults.New(42)
 	s.Faults.Arm(faults.Point{Kind: faults.TransientRead, Prob: 1})
 	s.Put("k", []byte("x"))
-	_, err := s.Get("k")
+	_, err := s.Get(context.Background(), "k")
 	if err == nil {
 		t.Fatal("Get succeeded through an always-firing fault")
 	}
@@ -122,7 +122,7 @@ func TestReplicaFallbackOnMissing(t *testing.T) {
 	// replica must serve, with no same-replica retry wasted on it.
 	s.Faults.Arm(faults.Point{Kind: faults.ObjectMissing, Prob: 1, Budget: 1})
 	s.Put("k", []byte("survives"))
-	got, err := s.Get("k")
+	got, err := s.Get(context.Background(), "k")
 	if err != nil {
 		t.Fatalf("replicated Get failed: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestMissingKeyIsPermanent(t *testing.T) {
 	s := NewObjectStore()
 	s.Faults = faults.New(1)
 	s.Faults.Arm(faults.Point{Kind: faults.TransientRead, Prob: 1})
-	_, err := s.Get("absent")
+	_, err := s.Get(context.Background(), "absent")
 	if err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Fatalf("err = %v, want not-found", err)
 	}
@@ -191,7 +191,7 @@ func TestScanFailsOnPersistentCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := meta.SegmentKeys[0]
-	blob, err := srv.Store().Get(key)
+	blob, err := srv.Store().Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}

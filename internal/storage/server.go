@@ -7,12 +7,15 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/encoding"
 	"repro/internal/expr"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -144,6 +147,17 @@ type ScanStats struct {
 	EncodedEvalSegments int64
 	DecodedBytes        sim.Bytes
 	DecodedBytesSaved   sim.Bytes
+
+	// Speculation accounting (parallel scans with a resilience policy):
+	// morsels re-issued because they ran past the straggler threshold,
+	// how many of those duplicates finished first, and the media bytes
+	// the losing copies read before cancellation caught them. Logical
+	// totals (MediaBytes, rows) count each segment exactly once — the
+	// winner's read — while the losers' real device charges surface
+	// here.
+	SpeculativeMorsels int64
+	SpeculativeWins    int64
+	SpeculativeBytes   sim.Bytes
 }
 
 // scanPipe replays one scan's internal three-stage pipeline onto a
@@ -446,7 +460,7 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		seg, batch, skip, processed, segErr := s.readSegmentRetry(key, needed, projection, spec, pipe, segIdx, 0, &stats)
+		seg, batch, skip, processed, segErr := s.readSegmentRetry(ctx, key, needed, projection, spec, pipe, segIdx, 0, &stats)
 		if segErr != nil {
 			return stats, segErr
 		}
@@ -536,9 +550,9 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 // may hit a clean replica or a clean wire — while other errors (missing
 // object, exhausted transient budget) have already been through the
 // store's own retry machinery and surface as-is.
-func (s *Server) readSegmentRetry(key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
+func (s *Server) readSegmentRetry(ctx context.Context, key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
 	for attempt := 0; ; attempt++ {
-		seg, batch, skip, processed, segErr := s.readSegment(key, needed, projection, spec, pipe, segIdx, lane, attempt, stats)
+		seg, batch, skip, processed, segErr := s.readSegment(ctx, key, needed, projection, spec, pipe, segIdx, lane, attempt, stats)
 		if segErr == nil {
 			return seg, batch, skip, processed, nil
 		}
@@ -550,8 +564,191 @@ func (s *Server) readSegmentRetry(key string, needed, projection []int, spec Sca
 			spec.Trace.AddEvent(obs.Event{Name: "retry", Track: s.media.Name,
 				At: spec.Clock.Now(), Detail: fmt.Sprintf("%s: %v", key, segErr)})
 		}
-		s.store.backoff(attempt)
+		if err := s.store.backoff(ctx, attempt); err != nil {
+			return nil, nil, false, false, err
+		}
 	}
+}
+
+// segResult is one completed morsel copy, primary or speculative.
+type segResult struct {
+	seg  int
+	out  *columnar.Batch // nil when pruned or empty
+	skip bool
+	sub  ScanStats // this segment's media/retry accounting
+	err  error
+	dup  bool // a speculative re-execution, not the primary copy
+}
+
+// morselState tracks one in-flight morsel for straggler detection: when
+// it started, the per-morsel cancel shared by its copies (cancelling it
+// stops whichever copy lost the race), and whether a duplicate has been
+// issued.
+type morselState struct {
+	start      time.Time
+	ctx        context.Context
+	cancel     context.CancelFunc
+	speculated bool
+	done       bool
+}
+
+// specState is the shared straggler-detection state of one parallel
+// scan: an EWMA over completed-morsel wall time plus the in-flight set.
+// Workers that exhaust the segment counter turn into speculators,
+// re-issuing the oldest morsel that has run past SpecMultiple x the
+// EWMA (budget permitting) and racing it against the stuck copy.
+type specState struct {
+	pol *resilience.Policy
+
+	mu       sync.Mutex
+	inflight map[int]*morselState
+	ewma     float64 // nanoseconds over completed morsels
+	samples  int
+	launched int64
+	wake     chan struct{} // closed and replaced on every completion
+}
+
+func newSpecState(pol *resilience.Policy) *specState {
+	return &specState{pol: pol, inflight: make(map[int]*morselState),
+		wake: make(chan struct{})}
+}
+
+// register notes a morsel starting and returns the context its copies
+// run under.
+func (st *specState) register(seg int, parent context.Context) context.Context {
+	mctx, cancel := context.WithCancel(parent)
+	st.mu.Lock()
+	st.inflight[seg] = &morselState{start: time.Now(), ctx: mctx, cancel: cancel}
+	st.mu.Unlock()
+	return mctx
+}
+
+// markDone records a morsel copy finishing. Successful completions feed
+// the EWMA; a done morsel is never speculated on.
+func (st *specState) markDone(seg int, elapsed time.Duration, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ms := st.inflight[seg]
+	if ms == nil || ms.done {
+		return
+	}
+	ms.done = true
+	// Broadcast to sleeping speculators: the in-flight set changed, so
+	// their wait deadlines are stale — in particular, the last completion
+	// must release them immediately rather than after a full poll sleep.
+	close(st.wake)
+	st.wake = make(chan struct{})
+	if !ok {
+		return
+	}
+	x := float64(elapsed)
+	if st.samples == 0 {
+		st.ewma = x
+	} else {
+		st.ewma += 0.2 * (x - st.ewma)
+	}
+	st.samples++
+}
+
+// sleepWake sleeps for at most d, returning early when ctx ends (with
+// its error) or when any morsel completes (nil) — so an idle speculator
+// never outlives the scan by a poll interval.
+func (st *specState) sleepWake(ctx context.Context, d time.Duration) error {
+	st.mu.Lock()
+	wake := st.wake
+	st.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-wake:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// copies reports how many result messages seg will eventually produce.
+func (st *specState) copies(seg int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ms := st.inflight[seg]; ms != nil && ms.speculated {
+		return 2
+	}
+	return 1
+}
+
+// cancelSeg cancels the morsel's shared context, stopping the copy that
+// lost the race (the winner has already returned).
+func (st *specState) cancelSeg(seg int) {
+	st.mu.Lock()
+	ms := st.inflight[seg]
+	st.mu.Unlock()
+	if ms != nil {
+		ms.cancel()
+	}
+}
+
+// cancelAll releases every morsel context at scan teardown.
+func (st *specState) cancelAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ms := range st.inflight {
+		ms.cancel()
+	}
+}
+
+// pick claims the most overdue unspeculated morsel, or reports how long
+// to wait before rechecking. Returns seg = -1 with wait > 0 when
+// nothing is overdue yet, and seg = -1 with wait = 0 when no morsel is
+// left in flight.
+func (st *specState) pick(now time.Time) (int, *morselState, time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	threshold := time.Duration(st.pol.SpecMultiple * st.ewma)
+	if threshold < st.pol.HedgeMinDelay {
+		threshold = st.pol.HedgeMinDelay
+	}
+	warm := st.samples >= st.pol.SpecMinSamples
+	var (
+		bestSeg  = -1
+		bestMS   *morselState
+		bestAge  time.Duration
+		wait     time.Duration
+		anyAlive bool
+	)
+	for seg, ms := range st.inflight {
+		if ms.done || ms.speculated {
+			continue
+		}
+		anyAlive = true
+		age := now.Sub(ms.start)
+		if warm && age > threshold {
+			if bestMS == nil || age > bestAge {
+				bestSeg, bestMS, bestAge = seg, ms, age
+			}
+			continue
+		}
+		d := threshold - age
+		if !warm || d < 50*time.Microsecond {
+			d = 50 * time.Microsecond
+		}
+		if d > 5*time.Millisecond {
+			d = 5 * time.Millisecond
+		}
+		if wait == 0 || d < wait {
+			wait = d
+		}
+	}
+	if bestMS != nil {
+		bestMS.speculated = true
+		return bestSeg, bestMS, 0
+	}
+	if !anyAlive {
+		return -1, nil, 0
+	}
+	return -1, nil, wait
 }
 
 // scanParallel is the morsel-parallel scan body. Workers claim segment
@@ -563,20 +760,64 @@ func (s *Server) readSegmentRetry(key string, needed, projection []int, spec Sca
 // caller's goroutine behind a reorder buffer, so a parallel scan is
 // observably identical to a serial one apart from wall time and the
 // per-lane busy split.
+//
+// With a resilience policy that enables speculation, workers that run
+// out of fresh segments linger as speculators: a morsel running past
+// SpecMultiple x the EWMA of completed morsels is re-issued (one token
+// of retry budget per duplicate) and the first finisher wins. The
+// reorder buffer delivers each segment exactly once — the first result
+// per segment — and cancels the loser, whose media bytes land in
+// SpeculativeBytes instead of the logical totals, so result rows and
+// MediaBytes are identical to an unspeculated scan.
 func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, workers int, needed []int, filter expr.Predicate, projPos, projection []int, emitTracked func(*columnar.Batch) error, progress func(int) error, stats *ScanStats) error {
-	type segResult struct {
-		seg  int
-		out  *columnar.Batch // nil when pruned or empty
-		skip bool
-		sub  ScanStats // this segment's media/retry accounting
-		err  error
-	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var st *specState
+	if pol := s.store.Resilience; pol != nil && pol.Speculate {
+		st = newSpecState(pol)
+		defer st.cancelAll()
+	}
+
+	// processMorsel runs one copy of segment idx end to end, charging
+	// lane idx%workers, and returns its result message.
+	processMorsel := func(mctx context.Context, idx int, dup bool) segResult {
+		r := segResult{seg: idx, dup: dup}
+		lane := idx % workers
+		seg, batch, skip, processed, err := s.readSegmentRetry(mctx, t.SegmentKeys[idx], needed, projection, spec, nil, idx, lane, &r.sub)
+		switch {
+		case err != nil:
+			r.err = err
+		case skip:
+			r.skip = true
+		case processed:
+			// Encoded-eval already filtered and projected.
+			if batch.NumRows() > 0 {
+				r.out = batch
+			}
+		default:
+			if spec.Pushdown && filter != nil {
+				n := seg.ColumnDecodedSize(spec.Filter.Columns())
+				s.proc.ChargeLane(fabric.OpFilter, n, lane)
+				batch = batch.Filter(filter.Eval(batch))
+			}
+			out := batch
+			if spec.Pushdown {
+				out = batch.Project(projPos)
+				if len(projection) < t.Schema.NumFields() {
+					s.proc.ChargeLane(fabric.OpProject, sim.Bytes(out.ByteSize()), lane)
+				}
+			}
+			if out.NumRows() > 0 {
+				r.out = out
+			}
+		}
+		return r
+	}
+
 	var next atomic.Int64
 	next.Store(int64(spec.StartSegment))
-	results := make(chan segResult, 2*workers)
+	results := make(chan segResult, 2*workers+2)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -584,43 +825,67 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 			defer wg.Done()
 			for {
 				idx := int(next.Add(1) - 1)
-				if idx >= len(t.SegmentKeys) || ctx.Err() != nil {
+				if idx >= len(t.SegmentKeys) {
+					break
+				}
+				if ctx.Err() != nil {
 					return
 				}
-				r := segResult{seg: idx}
-				lane := idx % workers
-				seg, batch, skip, processed, err := s.readSegmentRetry(t.SegmentKeys[idx], needed, projection, spec, nil, idx, lane, &r.sub)
-				switch {
-				case err != nil:
-					r.err = err
-				case skip:
-					r.skip = true
-				case processed:
-					// Encoded-eval already filtered and projected.
-					if batch.NumRows() > 0 {
-						r.out = batch
-					}
-				default:
-					if spec.Pushdown && filter != nil {
-						n := seg.ColumnDecodedSize(spec.Filter.Columns())
-						s.proc.ChargeLane(fabric.OpFilter, n, lane)
-						batch = batch.Filter(filter.Eval(batch))
-					}
-					out := batch
-					if spec.Pushdown {
-						out = batch.Project(projPos)
-						if len(projection) < t.Schema.NumFields() {
-							s.proc.ChargeLane(fabric.OpProject, sim.Bytes(out.ByteSize()), lane)
-						}
-					}
-					if out.NumRows() > 0 {
-						r.out = out
-					}
+				mctx := ctx
+				var start time.Time
+				if st != nil {
+					mctx = st.register(idx, ctx)
+					start = time.Now()
+				}
+				r := processMorsel(mctx, idx, false)
+				if st != nil {
+					st.markDone(idx, time.Since(start), r.err == nil)
 				}
 				select {
 				case results <- r:
 				case <-ctx.Done():
 					return
+				}
+				if st != nil && r.err == nil {
+					// First finisher: stop a racing duplicate, if any.
+					st.cancelSeg(idx)
+				}
+			}
+			if st == nil {
+				return
+			}
+			// Out of fresh morsels: speculate on stragglers until none
+			// remain in flight.
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				seg, ms, wait := st.pick(time.Now())
+				if seg < 0 {
+					if wait == 0 {
+						return
+					}
+					if st.sleepWake(ctx, wait) != nil {
+						return
+					}
+					continue
+				}
+				if !st.pol.Budget.TryAcquire() {
+					// Retry budget exhausted: serve slow rather than
+					// amplify.
+					return
+				}
+				st.mu.Lock()
+				st.launched++
+				st.mu.Unlock()
+				r := processMorsel(ms.ctx, seg, true)
+				select {
+				case results <- r:
+				case <-ctx.Done():
+					return
+				}
+				if r.err == nil {
+					st.cancelSeg(seg)
 				}
 			}
 		}()
@@ -628,6 +893,8 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 	go func() { wg.Wait(); close(results) }()
 
 	pend := make(map[int]segResult, workers)
+	delivered := make(map[int]bool, workers)
+	arrived := make(map[int]int, workers)
 	want := spec.StartSegment
 	var firstErr error
 	fail := func(err error) {
@@ -639,6 +906,23 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 	for r := range results {
 		if firstErr != nil {
 			continue
+		}
+		if delivered[r.seg] {
+			// The losing copy of a speculated morsel: its real device
+			// charges stand, but logically only its media bytes are
+			// reported — as speculation overhead, never as scan totals.
+			stats.SpeculativeBytes += r.sub.MediaBytes
+			continue
+		}
+		arrived[r.seg]++
+		if r.err != nil && st != nil && st.copies(r.seg) > arrived[r.seg] {
+			// This copy failed but its twin is still running; the twin
+			// may yet deliver the segment.
+			continue
+		}
+		delivered[r.seg] = true
+		if r.dup && r.err == nil {
+			stats.SpeculativeWins++
 		}
 		pend[r.seg] = r
 		for {
@@ -672,6 +956,11 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 			want++
 		}
 	}
+	if st != nil {
+		st.mu.Lock()
+		stats.SpeculativeMorsels += st.launched
+		st.mu.Unlock()
+	}
 	if firstErr != nil {
 		return firstErr
 	}
@@ -688,8 +977,8 @@ func (s *Server) scanParallel(ctx context.Context, t *TableMeta, spec ScanSpec, 
 // surfaces as an error wrapping encoding.ErrCorrupt for the retry loop;
 // re-reads (attempt > 0) charge the media again and count toward
 // RetryBytes, so recovery shows up as real extra work in the meters.
-func (s *Server) readSegment(key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
-	blob, err := s.store.GetNoCopy(key)
+func (s *Server) readSegment(ctx context.Context, key string, needed, projection []int, spec ScanSpec, pipe *scanPipe, segIdx, lane, attempt int, stats *ScanStats) (*Segment, *columnar.Batch, bool, bool, error) {
+	blob, err := s.store.GetNoCopy(ctx, key)
 	if err != nil {
 		return nil, nil, false, false, err
 	}
@@ -718,6 +1007,17 @@ func (s *Server) readSegment(key string, needed, projection []int, spec ScanSpec
 		// so per-command latency overlaps across workers while the
 		// sequential bandwidth stays a serial floor.
 		xferCost = s.mediaLink.TransferQD(encoded, lane)
+		// JitterLink is a gray failure on the media link: the transfer
+		// still delivers, but Severity x the store's healthy service
+		// time is added in real wall-clock — the phenomenon hedging and
+		// speculation defend against.
+		if s.store.Faults != nil {
+			if extra := s.store.Faults.Slowdown(faults.JitterLink, s.mediaLink.Name, s.store.BaseLatency); extra > 0 {
+				if err := sleepCtx(ctx, extra); err != nil {
+					return nil, nil, false, false, err
+				}
+			}
+		}
 	}
 
 	if spec.encodedEvalActive() {

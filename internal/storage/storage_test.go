@@ -130,11 +130,11 @@ func TestObjectStoreBasics(t *testing.T) {
 	o.Put("t/a", []byte("hello"))
 	o.Put("t/b", []byte("world!"))
 	o.Put("u/c", []byte("x"))
-	data, err := o.Get("t/a")
+	data, err := o.Get(context.Background(), "t/a")
 	if err != nil || string(data) != "hello" {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
-	if _, err := o.Get("missing"); err == nil {
+	if _, err := o.Get(context.Background(), "missing"); err == nil {
 		t.Error("Get(missing) succeeded")
 	}
 	if got := o.List("t/"); len(got) != 2 || got[0] != "t/a" {
@@ -147,14 +147,14 @@ func TestObjectStoreBasics(t *testing.T) {
 		t.Errorf("TotalBytes=%d NumObjects=%d", o.TotalBytes(), o.NumObjects())
 	}
 	o.Delete("t/a")
-	if _, err := o.Get("t/a"); err == nil {
+	if _, err := o.Get(context.Background(), "t/a"); err == nil {
 		t.Error("deleted object still readable")
 	}
 	// Put copies its input.
 	buf := []byte("mutate")
 	o.Put("m", buf)
 	buf[0] = 'X'
-	got, _ := o.Get("m")
+	got, _ := o.Get(context.Background(), "m")
 	if string(got) != "mutate" {
 		t.Error("Put did not copy data")
 	}
