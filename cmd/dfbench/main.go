@@ -4,6 +4,7 @@
 //
 //	dfbench [-rows N] [-only E2,E7] [-list] [-trace FILE] [-json FILE]
 //	        [-deadline D] [-offered-load 1,4,16] [-hedge=false]
+//	        [-metrics-addr :9090] [-metrics-hold D] [-metrics-json FILE]
 //
 // Each experiment reproduces the scenario of one figure or Section-7
 // claim of "Data Flow Architectures for Data Processing on Modern
@@ -27,12 +28,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/sim"
 )
 
@@ -45,7 +50,70 @@ var (
 		"comma-separated worker counts for the E22 parallelism sweep, e.g. 1,2,4,8 (empty = experiment default)")
 	hedgeFlag = flag.Bool("hedge", true,
 		"run the hedging+speculation arm of the E24 tail-latency sweep (false = baseline only)")
+	metricsAddr = flag.String("metrics-addr", "",
+		"serve a Prometheus-text /metrics endpoint on host:port for the duration of the run")
+	metricsHold = flag.Duration("metrics-hold", 0,
+		"keep the /metrics endpoint up this long after the experiments finish")
+	metricsJSON = flag.String("metrics-json", "",
+		"write periodic JSON registry snapshots to FILE while experiments run")
+	metricsInterval = flag.Duration("metrics-interval", 2*time.Second,
+		"period between -metrics-json snapshots")
 )
+
+// serveReg is the live fleet registry behind -metrics-addr and
+// -metrics-json; nil when neither flag is set (telemetry off, zero
+// cost). E25 mirrors its accuracy arm's headline series onto it so a
+// scrape during the run watches the fleet move.
+var serveReg *metrics.Registry
+
+// serveMetrics exposes the registry as a Prometheus text endpoint at
+// /metrics, returning the bound address (useful with :0).
+func serveMetrics(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := serveReg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// snapshotLoop rewrites path with a fresh JSON registry snapshot every
+// interval until stop is closed, then writes one final snapshot.
+func snapshotLoop(path string, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	write := func() {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			return
+		}
+		if err := serveReg.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+		}
+		f.Close()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			write()
+		case <-stop:
+			write()
+			return
+		}
+	}
+}
 
 // workerSweep translates -workers into E22's sweep; nil means the
 // experiment default.
@@ -277,6 +345,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E25", "fleet telemetry: overhead, histogram accuracy, SLO-led shedding (observability)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E25Telemetry(rows, experiments.E25Options{Registry: serveReg})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -327,11 +402,13 @@ type jsonEntry struct {
 	EncodedEval       bool  `json:"encodedEval,omitempty"`
 	DecodedBytesSaved int64 `json:"decodedBytesSaved,omitempty"`
 	// Gray-failure defense counters (E24): duplicate work and breaker
-	// activity the run's resilience policy reported.
-	HedgedReads          int64 `json:"hedgedReads,omitempty"`
-	SpeculativeMorsels   int64 `json:"speculativeMorsels,omitempty"`
-	BreakerTrips         int64 `json:"breakerTrips,omitempty"`
-	RetryBudgetExhausted int64 `json:"retryBudgetExhausted,omitempty"`
+	// activity the run's resilience policy reported. Emitted
+	// unconditionally — a zero is a result, and dropping the fields
+	// under -hedge=false would make the artifact schema depend on flags.
+	HedgedReads          int64 `json:"hedgedReads"`
+	SpeculativeMorsels   int64 `json:"speculativeMorsels"`
+	BreakerTrips         int64 `json:"breakerTrips"`
+	RetryBudgetExhausted int64 `json:"retryBudgetExhausted"`
 }
 
 func writeTraceFile(path string, rows int) error {
@@ -378,6 +455,23 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.id, e.desc)
 		}
 		return
+	}
+	if *metricsAddr != "" || *metricsJSON != "" {
+		serveReg = metrics.New()
+	}
+	if *metricsAddr != "" {
+		bound, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics\n", bound)
+	}
+	var snapStop chan struct{}
+	var snapDone chan struct{}
+	if *metricsJSON != "" {
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go snapshotLoop(*metricsJSON, *metricsInterval, snapStop, snapDone)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -428,6 +522,15 @@ func main() {
 		} else {
 			fmt.Printf("wrote metrics to %s\n", *jsonPath)
 		}
+	}
+	if *metricsAddr != "" && *metricsHold > 0 {
+		fmt.Printf("holding /metrics for %v\n", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
+	if snapStop != nil {
+		close(snapStop)
+		<-snapDone
+		fmt.Printf("wrote metrics snapshots to %s\n", *metricsJSON)
 	}
 	if failed {
 		os.Exit(1)

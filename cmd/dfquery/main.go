@@ -7,7 +7,7 @@
 //
 //	dfquery [-engine dataflow|volcano|both] [-rows N] [-query pricing|filter|count|parts]
 //	        [-sql "SELECT ..."] [-variant name] [-fabric smart|legacy] [-explain]
-//	        [-analyze] [-trace FILE]
+//	        [-analyze] [-trace FILE] [-metrics]
 //
 // With -sql, the statement is parsed against the lineitem schema
 // (columns l_orderkey, l_partkey, l_suppkey, l_quantity,
@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/sqlparse"
@@ -113,7 +114,13 @@ func main() {
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: trace execution and print per-device timelines")
 	tracePath := flag.String("trace", "", "write the recorded timelines as a Perfetto trace to FILE (implies -analyze)")
 	maxRows := flag.Int("maxrows", 10, "result rows to print")
+	showMetrics := flag.Bool("metrics", false, "collect fleet metrics during execution and print the registry after the run")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *showMetrics {
+		reg = metrics.New()
+	}
 
 	cfg := workload.DefaultLineitemConfig(*rows)
 	data := workload.GenLineitem(cfg)
@@ -139,6 +146,9 @@ func main() {
 		}
 		eng := core.NewDataFlowEngine(fabric.NewCluster(ccfg))
 		eng.Tracing = tracing
+		if reg != nil {
+			eng.SetMetrics(reg)
+		}
 		must(eng.CreateTable("lineitem", workload.LineitemSchema()))
 		must(eng.Load("lineitem", data))
 
@@ -179,6 +189,9 @@ func main() {
 	if *engine == "volcano" || *engine == "both" {
 		eng := core.NewVolcanoEngine(fabric.NewCluster(fabric.LegacyClusterConfig()), 512*sim.MB)
 		eng.Tracing = tracing
+		if reg != nil {
+			eng.SetMetrics(reg)
+		}
 		must(eng.CreateTable("lineitem", workload.LineitemSchema()))
 		must(eng.Load("lineitem", data))
 		res, err := eng.Execute(context.Background(), q)
@@ -191,6 +204,15 @@ func main() {
 		printTimeline(res.Trace)
 		if res.Trace != nil {
 			procs = append(procs, obs.Process{Name: "volcano", Trace: res.Trace})
+		}
+	}
+
+	if reg != nil {
+		// Both engines shared the registry, so the fleet totals cover the
+		// whole run; the engine.queries{engine=...} series separates them.
+		fmt.Println("--- fleet metrics ---")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
 		}
 	}
 

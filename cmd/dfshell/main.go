@@ -6,10 +6,12 @@
 //	go run ./cmd/dfshell [-rows N]
 //
 // Meta commands: \tables, \explain <sql>, \stats [<table>], \trace,
-// \topo, \quit. Bare \stats toggles the full execution-stats block after
-// each query; \trace toggles virtual-time tracing, printing a per-device
-// span timeline and the concurrency factor. Prefixing a statement with
-// EXPLAIN ANALYZE traces just that one query.
+// \metrics, \topo, \quit. Bare \stats toggles the full execution-stats
+// block after each query; \trace toggles virtual-time tracing, printing
+// a per-device span timeline and the concurrency factor; \metrics
+// prints the live fleet registry — every query executed in the session
+// lands on its counters, histograms and gauges. Prefixing a statement
+// with EXPLAIN ANALYZE traces just that one query.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
@@ -60,6 +63,8 @@ func main() {
 
 	cluster := fabric.NewCluster(fabric.DefaultClusterConfig())
 	eng := core.NewDataFlowEngine(cluster)
+	reg := metrics.New()
+	eng.SetMetrics(reg)
 	lcfg := workload.DefaultLineitemConfig(*rows)
 	lcfg.Orders = int64(*rows / 4)
 	must(eng.CreateTable("lineitem", workload.LineitemSchema()))
@@ -69,7 +74,7 @@ func main() {
 
 	fmt.Printf("dfshell — data-flow engine over %s\n", cluster.Name)
 	fmt.Printf("tables: lineitem (%d rows), orders (%d rows)\n", *rows, *rows/4)
-	fmt.Println(`type SQL, or \tables \explain <sql> \stats [<table>] \trace \topo \quit`)
+	fmt.Println(`type SQL, or \tables \explain <sql> \stats [<table>] \trace \metrics \topo \quit`)
 
 	showStats := false
 	sc := bufio.NewScanner(os.Stdin)
@@ -96,6 +101,10 @@ func main() {
 			}
 		case line == `\topo`:
 			fmt.Print(cluster.String())
+		case line == `\metrics`:
+			if err := reg.WriteText(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		case line == `\trace`:
 			eng.Tracing = !eng.Tracing
 			if eng.Tracing {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/sched"
@@ -76,6 +77,22 @@ type DataFlowEngine struct {
 	// share one policy; nil (the default) disables every defense and
 	// reproduces the pre-resilience engine exactly.
 	Resilience *resilience.Policy
+	// Metrics, when set (wire it with SetMetrics so storage, scheduler
+	// and flow share the registry), publishes continuous fleet telemetry:
+	// per-query resource attribution (busy time and bytes charged to the
+	// context's tenant label), latency histograms, per-device and
+	// per-link utilization gauges, and the layer counters every
+	// subsystem folds in. Nil is off and adds zero allocations to the
+	// per-batch hot path, exactly like Tracing.
+	Metrics *metrics.Registry
+	// SLO, when set, receives every query's wall latency. Point the
+	// scheduler's SLO field at the same tracker (and set its
+	// SLOShedBurnRate) to close the loop: burn-rate-driven shedding.
+	SLO *metrics.SLOTracker
+	// pub caches the registry's resolved instruments so per-query
+	// publishing is pure atomic updates; rebuilt when Metrics changes.
+	pubMu sync.Mutex
+	pub   *enginePublisher
 	// Workers > 1 enables intra-query morsel parallelism: the storage
 	// scan splits into per-segment morsels claimed by a worker pool, and
 	// every parallelizable flow stage runs as a pool of that many workers
@@ -136,6 +153,7 @@ func (e *DataFlowEngine) EnableResilience(p *resilience.Policy) {
 			if d := e.Cluster.Device(dev); d != nil {
 				d.SetDegraded(st != resilience.Closed)
 			}
+			publishBreakerGauge(e.Metrics, dev, st)
 		}
 	}
 }
@@ -249,6 +267,7 @@ func (e *DataFlowEngine) Execute(ctx context.Context, q *plan.Query) (*Result, e
 // surfaces as ErrDeadlineExceeded or ErrCancelled.
 func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int) (*Result, error) {
 	ctx = ctxOrBackground(ctx)
+	startWall := time.Now()
 	e.Scheduler.SetWorkers(e.Workers)
 	maxAttempts := e.MaxRecoveryAttempts
 	if maxAttempts <= 0 {
@@ -298,6 +317,7 @@ func (e *DataFlowEngine) ExecuteOn(ctx context.Context, q *plan.Query, node int)
 			// hedges and budget denials burned by abandoned attempts count
 			// against this query, not just the attempt that answered.
 			foldResilience(&res.Stats, e.Storage.Store(), e.Resilience, rBefore)
+			e.publishQuery(ctx, res, time.Since(startWall))
 			return res, nil
 		}
 		wb, wt := e.meterDelta(before)
@@ -394,6 +414,7 @@ func (e *DataFlowEngine) meterDelta(before map[meterKey]meterSnap) (sim.Bytes, s
 // scheduler. Experiments use it to force variants. Tracing follows
 // e.Tracing, with a fresh trace per call.
 func (e *DataFlowEngine) ExecutePlan(ctx context.Context, ph *plan.Physical) (*Result, error) {
+	startWall := time.Now()
 	var tr *obs.Trace
 	if e.Tracing {
 		tr = obs.New()
@@ -402,6 +423,7 @@ func (e *DataFlowEngine) ExecutePlan(ctx context.Context, ph *plan.Physical) (*R
 	if err != nil {
 		return nil, lifecycleError(err)
 	}
+	e.publishQuery(ctx, res, time.Since(startWall))
 	return res, nil
 }
 
@@ -550,6 +572,7 @@ func (e *DataFlowEngine) executePlan(ctx context.Context, ph *plan.Physical, tr 
 			SourceTrack:  e.Storage.Proc().Name,
 			Ckpt:         ck,
 			Restore:      restore,
+			Metrics:      e.Metrics,
 		}
 		if e.Resilience != nil {
 			pipe.Health = e.Resilience.Health

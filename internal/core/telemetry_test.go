@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs/metrics"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func telemetryQuery(cfg workload.LineitemConfig) *plan.Query {
+	return plan.NewQuery("lineitem").
+		WithFilter(workload.SelectivityFilter(cfg, 0.1)).
+		WithGroupBy(workload.PricingSummary())
+}
+
+func TestTenantContext(t *testing.T) {
+	if got := TenantFrom(nil); got != DefaultTenant { //nolint:staticcheck // nil ctx is the documented off state
+		t.Fatalf("TenantFrom(nil) = %q, want %q", got, DefaultTenant)
+	}
+	if got := TenantFrom(context.Background()); got != DefaultTenant {
+		t.Fatalf("TenantFrom(background) = %q, want %q", got, DefaultTenant)
+	}
+	ctx := WithTenant(context.Background(), "alpha")
+	if got := TenantFrom(ctx); got != "alpha" {
+		t.Fatalf("TenantFrom = %q, want alpha", got)
+	}
+	// Empty tenant is a no-op tag, not an empty label.
+	if got := TenantFrom(WithTenant(context.Background(), "")); got != DefaultTenant {
+		t.Fatalf("TenantFrom(empty tag) = %q, want %q", got, DefaultTenant)
+	}
+}
+
+// TestPublishAttribution checks the engine-level invariants the registry
+// promises: per-tenant counter sums reproduce fleet totals exactly, the
+// engine label separates the engines, and query latency lands on both
+// the histogram and the SLO tracker.
+func TestPublishAttribution(t *testing.T) {
+	df, vo, cfg := newEngines(t)
+	reg := metrics.New()
+	df.SetMetrics(reg)
+	vo.SetMetrics(reg)
+	slo := metrics.NewSLOTracker(time.Second, 0.99)
+	df.SetSLO(slo, 0)
+
+	q := telemetryQuery(cfg)
+	tenants := []string{"alpha", "beta", "alpha", DefaultTenant}
+	for _, tenant := range tenants {
+		if _, err := df.Execute(WithTenant(context.Background(), tenant), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := vo.Execute(WithTenant(context.Background(), "beta"), q); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	total := int64(len(tenants)) + 1
+	if got := snap.Counters["fleet.queries"]; got != total {
+		t.Fatalf("fleet.queries = %d, want %d", got, total)
+	}
+	if got := snap.Counters[metrics.Labels("engine.queries", "engine", "dataflow")]; got != int64(len(tenants)) {
+		t.Fatalf("engine.queries{dataflow} = %d, want %d", got, len(tenants))
+	}
+	if got := snap.Counters[metrics.Labels("engine.queries", "engine", "volcano")]; got != 1 {
+		t.Fatalf("engine.queries{volcano} = %d, want 1", got)
+	}
+	for tenant, want := range map[string]int64{"alpha": 2, "beta": 2, DefaultTenant: 1} {
+		if got := snap.Counters[metrics.Labels("tenant.queries", "tenant", tenant)]; got != want {
+			t.Fatalf("tenant.queries{%s} = %d, want %d", tenant, got, want)
+		}
+	}
+	// Exactness: summing every tenant series reproduces the fleet series.
+	for _, series := range []string{"queries", "busy.vns", "bytes"} {
+		var sum int64
+		for _, tenant := range []string{"alpha", "beta", DefaultTenant} {
+			sum += snap.Counters[metrics.Labels("tenant."+series, "tenant", tenant)]
+		}
+		if fleet := snap.Counters["fleet."+series]; sum != fleet {
+			t.Fatalf("tenant %s sum %d != fleet %d", series, sum, fleet)
+		}
+	}
+	if got := reg.Histogram("query.wall.ns").Count(); got != total {
+		t.Fatalf("query.wall.ns count = %d, want %d", got, total)
+	}
+	if good, bad := slo.Window(); good+bad != int64(len(tenants)) {
+		t.Fatalf("SLO observed %d, want %d (dataflow only)", good+bad, len(tenants))
+	}
+}
+
+// TestPublisherRebuildsOnRegistrySwap covers the cache path: assigning
+// the Metrics field directly (without SetMetrics) must still publish to
+// the new registry, and clearing it must stop publishing.
+func TestPublisherRebuildsOnRegistrySwap(t *testing.T) {
+	df, _, cfg := newEngines(t)
+	q := telemetryQuery(cfg)
+
+	first := metrics.New()
+	df.Metrics = first
+	if _, err := df.Execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	second := metrics.New()
+	df.Metrics = second
+	if _, err := df.Execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Counter("fleet.queries").Value(); got != 1 {
+		t.Fatalf("first registry fleet.queries = %d, want 1", got)
+	}
+	if got := second.Counter("fleet.queries").Value(); got != 1 {
+		t.Fatalf("second registry fleet.queries = %d, want 1", got)
+	}
+	df.Metrics = nil
+	if _, err := df.Execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Counter("fleet.queries").Value(); got != 1 {
+		t.Fatalf("nil registry still published: fleet.queries = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bufferpool"
 	"repro/internal/columnar"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/sim"
@@ -50,6 +52,16 @@ type VolcanoEngine struct {
 	// in the object store. (Speculative re-execution and breaker-steered
 	// placement need the dataflow engine's morsels and plan variants.)
 	Resilience *resilience.Policy
+
+	// Metrics, when non-nil, receives per-query resource attribution
+	// after every Execute (install via SetMetrics so the storage layers
+	// share the registry). SLO, when non-nil, observes each query's wall
+	// latency against its objective.
+	Metrics *metrics.Registry
+	SLO     *metrics.SLOTracker
+	// pub caches resolved registry instruments (see enginePublisher).
+	pubMu sync.Mutex
+	pub   *enginePublisher
 
 	node int
 	cpu  *fabric.Device
@@ -220,6 +232,7 @@ func (it *chargeIter) Next() (*columnar.Batch, error) {
 // surfaces as ErrDeadlineExceeded or ErrCancelled.
 func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, error) {
 	ctx = ctxOrBackground(ctx)
+	startWall := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -341,6 +354,7 @@ func (e *VolcanoEngine) Execute(ctx context.Context, q *plan.Query) (*Result, er
 	res.Stats.RecoveryBytes = rec.RetryBytes
 	foldResilience(&res.Stats, e.Storage.Store(), e.Resilience, rBefore)
 	sampleHealthSeries(tr, e.Resilience)
+	e.publishQuery(ctx, res, time.Since(startWall))
 	return res, nil
 }
 

@@ -55,3 +55,13 @@ func BenchmarkE24TailLatency(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE25Telemetry(b *testing.B) {
+	opts := E25Options{OverheadTrials: 4, Reps: 2, Trials: 12,
+		Workers: 2, Bursts: []int{2, 12}}
+	for i := 0; i < b.N; i++ {
+		if _, err := E25Telemetry(3000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -201,10 +201,12 @@ func (p *Pipeline) runStageParallel(r *stageRun) {
 			sr := stageResult{seq: item.seq}
 			procStart := time.Now()
 			r.busy[wi].Store(procStart.UnixNano())
+			p.markBusy(1)
 			sr.err = insts[wi].Process(item.b, func(ob *columnar.Batch) error {
 				sr.outs = append(sr.outs, ob)
 				return nil
 			})
+			p.markBusy(-1)
 			r.busy[wi].Store(0)
 			p.observeStage(st.Device, procStart)
 			if r.ts != nil {
@@ -363,7 +365,9 @@ func (p *Pipeline) runStageParallel(r *stageRun) {
 		for wi, inst := range insts {
 			before := r.res.BatchesOut[r.i]
 			r.busy[wi].Store(time.Now().UnixNano())
+			p.markBusy(1)
 			ferr := inst.Flush(out)
+			p.markBusy(-1)
 			r.busy[wi].Store(0)
 			if ferr != nil {
 				r.fail(ferr)

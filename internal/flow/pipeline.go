@@ -11,6 +11,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 )
@@ -108,7 +109,20 @@ type Pipeline struct {
 	// virtual: an injected slow device shows up here even though its
 	// metered costs are unchanged.
 	Health *resilience.Tracker
+	// Metrics, when set, feeds the fleet registry: flow.credit.stalls
+	// counts Sends that found the credit window empty (back-pressure),
+	// flow.workers.busy tracks how many workers currently hold a batch,
+	// and flow.workers.provisioned how many are running at all. Nil is
+	// off; the per-batch cost is one atomic add at each busy/idle flip.
+	Metrics *metrics.Registry
+
+	// occ is the worker-occupancy gauge, resolved once per Run.
+	occ *metrics.Gauge
 }
+
+// markBusy flips the fleet worker-occupancy gauge as one worker starts
+// (+1) or stops (-1) holding a batch.
+func (p *Pipeline) markBusy(d float64) { p.occ.Add(d) }
 
 // observeStage feeds one batch's stage latency into the health tracker.
 func (p *Pipeline) observeStage(dev *fabric.Device, start time.Time) {
@@ -231,7 +245,9 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 			pt = stageTapes[i]
 		}
 		ports[i] = newPort(fmt.Sprintf("%s.port%d", p.Name, i), path, depth, creditBatch, done, pt)
+		ports[i].stallCtr = p.Metrics.Counter("flow.credit.stalls")
 	}
+	p.occ = p.Metrics.Gauge("flow.workers.busy")
 
 	res.BatchesIn = make([]int64, len(p.Stages))
 	res.BatchesOut = make([]int64, len(p.Stages))
@@ -280,6 +296,15 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 	workersPer := make([]int, len(p.Stages))
 	for i := range p.Stages {
 		workersPer[i] = p.stageWorkers(i)
+	}
+	if p.Metrics != nil {
+		var provisioned int
+		for _, w := range workersPer {
+			provisioned += w
+		}
+		pg := p.Metrics.Gauge("flow.workers.provisioned")
+		pg.Add(float64(provisioned))
+		defer pg.Add(-float64(provisioned))
 	}
 
 	// busySince[i][w] is the wall-clock nanosecond at which stage i's
@@ -434,7 +459,9 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 				if !ok {
 					before := res.BatchesOut[i]
 					busySince[i][0].Store(time.Now().UnixNano())
+					p.markBusy(1)
 					err := st.Stage.Flush(out)
+					p.markBusy(-1)
 					busySince[i][0].Store(0)
 					if err != nil {
 						fail(err)
@@ -457,7 +484,9 @@ func (p *Pipeline) Run(ctx context.Context, sink Emit) (Result, error) {
 				before := res.BatchesOut[i]
 				procStart := time.Now()
 				busySince[i][0].Store(procStart.UnixNano())
+				p.markBusy(1)
 				perr := st.Stage.Process(b, out)
+				p.markBusy(-1)
 				busySince[i][0].Store(0)
 				p.observeStage(st.Device, procStart)
 				if perr != nil {

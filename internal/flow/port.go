@@ -18,6 +18,7 @@ import (
 	"repro/internal/columnar"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/sim"
 )
 
@@ -59,6 +60,11 @@ type Port struct {
 	creditMsgs atomic.Int64
 	markerMsgs atomic.Int64
 	bytes      atomic.Int64
+	stalls     atomic.Int64 // Sends that found the credit window empty
+
+	// stallCtr mirrors stalls into the fleet registry as they happen;
+	// nil (telemetry off) costs nothing.
+	stallCtr *metrics.Counter
 }
 
 // newPort builds a port of the given depth. creditBatch controls how
@@ -111,10 +117,20 @@ func (p *Port) Send(b *columnar.Batch) error {
 			return &LinkError{Link: l.Name, Err: err}
 		}
 	}
+	// Take a credit without blocking when one is ready; an empty credit
+	// window is a stall — the downstream queue is full and this sender
+	// is now blocked on back-pressure, the congestion signal the
+	// utilization gauges want alongside raw byte counts.
 	select {
-	case <-p.done:
-		return ErrCanceled
 	case <-p.credits:
+	default:
+		p.stalls.Add(1)
+		p.stallCtr.Inc()
+		select {
+		case <-p.done:
+			return ErrCanceled
+		case <-p.credits:
+		}
 	}
 	n := sim.Bytes(b.ByteSize())
 	if p.tape != nil {
@@ -227,6 +243,7 @@ func (p *Port) Stats() PortStats {
 		DataMessages:   p.dataMsgs.Load(),
 		CreditMessages: p.creditMsgs.Load(),
 		MarkerMessages: p.markerMsgs.Load(),
+		CreditStalls:   p.stalls.Load(),
 		Bytes:          sim.Bytes(p.bytes.Load()),
 	}
 }
@@ -242,7 +259,11 @@ type PortStats struct {
 	DataMessages   int64
 	CreditMessages int64
 	MarkerMessages int64
-	Bytes          sim.Bytes
+	// CreditStalls counts Sends that blocked because the credit window
+	// was empty — how often back-pressure actually bit, versus credits
+	// merely being accounting.
+	CreditStalls int64
+	Bytes        sim.Bytes
 }
 
 // String renders the stats compactly.

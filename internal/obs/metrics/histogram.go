@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram bucketing is HDR-style log-linear: values below 2^histSubBits
+// land in exact unit buckets; above that, each power of two is split
+// into 2^histSubBits linear sub-buckets, so the relative width of any
+// bucket is at most 2^-histSubBits (1/128 ≈ 0.78%). Quantile returns a
+// bucket's midpoint, halving the worst-case relative error again —
+// comfortably inside the 1% bound E25 asserts against exact per-query
+// aggregates.
+const (
+	histSubBits = 7
+	histSubs    = 1 << histSubBits // sub-buckets per power of two
+	// Exponents 0..histSubBits-1 collapse into the first exact range;
+	// exponents histSubBits..62 each contribute histSubs buckets
+	// (non-negative int64 values only; Observe clamps negatives to 0).
+	histBuckets = histSubs + (63-histSubBits)*histSubs
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the top bit, >= histSubBits
+	sub := v >> (exp - histSubBits)  // top histSubBits+1 bits, in [histSubs, 2*histSubs)
+	return (exp-histSubBits)*histSubs + int(sub)
+}
+
+// bucketMid returns the representative (midpoint) value for a bucket.
+func bucketMid(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	exp := i/histSubs + histSubBits - 1
+	sub := int64(i%histSubs) + histSubs
+	lo := sub << (exp - histSubBits)
+	width := int64(1) << (exp - histSubBits)
+	return lo + width/2
+}
+
+// histWindow is one ring slot: a flat bucket array plus running count,
+// sum and max so snapshots don't rescan empty buckets for totals.
+type histWindow struct {
+	buckets []int64 // accessed via atomic ops
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func (w *histWindow) reset() {
+	for i := range w.buckets {
+		atomic.StoreInt64(&w.buckets[i], 0)
+	}
+	w.count.Store(0)
+	w.sum.Store(0)
+	w.max.Store(0)
+}
+
+// Histogram records int64 observations (latencies in nanoseconds by
+// convention) into a ring of bucket windows. Observe always writes the
+// current window; reads merge every window, so an un-rotated histogram
+// behaves cumulatively and a rotated one covers the last `windows`
+// rotation periods. Observe is atomics-only; Rotate takes a mutex but
+// never blocks observers. A nil *Histogram is a no-op.
+type Histogram struct {
+	mu      sync.Mutex // serializes Rotate
+	cur     atomic.Int32
+	windows []histWindow
+}
+
+func newHistogram(windows int) *Histogram {
+	if windows < 1 {
+		windows = 1
+	}
+	h := &Histogram{windows: make([]histWindow, windows)}
+	for i := range h.windows {
+		h.windows[i].buckets = make([]int64, histBuckets)
+	}
+	return h
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	w := &h.windows[h.cur.Load()]
+	atomic.AddInt64(&w.buckets[bucketIndex(v)], 1)
+	w.count.Add(1)
+	w.sum.Add(v)
+	for {
+		old := w.max.Load()
+		if v <= old || w.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Rotate retires the oldest window: subsequent observations land in a
+// fresh window and the evicted one's contents leave every future read.
+// With a single window Rotate simply clears the histogram.
+func (h *Histogram) Rotate() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	next := (int(h.cur.Load()) + 1) % len(h.windows)
+	h.windows[next].reset()
+	h.cur.Store(int32(next))
+	h.mu.Unlock()
+}
+
+// Count returns the merged observation count across live windows.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.windows {
+		n += h.windows[i].count.Load()
+	}
+	return n
+}
+
+// Sum returns the merged sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	var s int64
+	for i := range h.windows {
+		s += h.windows[i].sum.Load()
+	}
+	return s
+}
+
+// Max returns the largest bucket-exact observation still in a live
+// window (the true max, not a bucket bound — tracked separately).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	var m int64
+	for i := range h.windows {
+		if v := h.windows[i].max.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the p-quantile (p in [0,1]) over the merged windows
+// by the nearest-rank method, reported as the containing bucket's
+// midpoint (exact for values below 128). Empty histogram → 0.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Nearest rank: the same convention the experiments use on sorted
+	// samples — index floor(p*n), clamped to the last element.
+	rank := int64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		var b int64
+		for w := range h.windows {
+			b += atomic.LoadInt64(&h.windows[w].buckets[i])
+		}
+		seen += b
+		if seen > rank {
+			return bucketMid(i)
+		}
+	}
+	return h.Max()
+}

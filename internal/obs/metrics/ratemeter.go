@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// RateMeter measures a rolling-window rate (events or bytes per second)
+// over a ring of time slots. Mark attributes n to the slot the clock is
+// currently in; Rate sums the slots still inside the window and divides
+// by the covered duration, so the reading converges on the true rate as
+// the window fills and decays within one window of a burst stopping.
+// Mutex-guarded: marks are per-scan / per-query, not per-batch, so a
+// cheap lock beats the complexity of slot CAS dances. A nil *RateMeter
+// is a no-op.
+type RateMeter struct {
+	mu      sync.Mutex
+	slotDur time.Duration
+	slots   []rateSlot
+	start   time.Time // first mark; bounds the divisor for young meters
+	total   int64
+	now     func() time.Time
+}
+
+type rateSlot struct {
+	epoch int64 // absolute slot number; stale slots are skipped on read
+	n     int64
+}
+
+func newRateMeter(window time.Duration, slots int, now func() time.Time) *RateMeter {
+	if slots < 1 {
+		slots = 1
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RateMeter{
+		slotDur: window / time.Duration(slots),
+		slots:   make([]rateSlot, slots),
+		now:     now,
+	}
+}
+
+// Mark records n events (or bytes) at the current time.
+func (m *RateMeter) Mark(n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	t := m.now()
+	if m.start.IsZero() {
+		m.start = t
+	}
+	epoch := t.UnixNano() / int64(m.slotDur)
+	s := &m.slots[epoch%int64(len(m.slots))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		s.n = 0
+	}
+	s.n += n
+	m.total += n
+	m.mu.Unlock()
+}
+
+// Rate returns the per-second rate over the live window. A meter
+// younger than the window divides by its age instead, so early readings
+// aren't diluted by slots that never existed.
+func (m *RateMeter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.start.IsZero() {
+		return 0
+	}
+	t := m.now()
+	epoch := t.UnixNano() / int64(m.slotDur)
+	oldest := epoch - int64(len(m.slots)) + 1
+	var n int64
+	for i := range m.slots {
+		if m.slots[i].epoch >= oldest && m.slots[i].epoch <= epoch {
+			n += m.slots[i].n
+		}
+	}
+	window := m.slotDur * time.Duration(len(m.slots))
+	if age := t.Sub(m.start) + m.slotDur; age < window {
+		window = age
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(n) / window.Seconds()
+}
+
+// Total returns every mark ever recorded (not windowed).
+func (m *RateMeter) Total() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOTracker turns a declared latency objective ("p99 under 40ms",
+// stated as target latency + good fraction) into a burn rate the
+// scheduler can read while load is still arriving. Each observation is
+// classified good (latency <= target) or bad; the burn rate is the
+// observed bad fraction divided by the error budget fraction:
+//
+//	burn = (bad / (good+bad)) / (1 - objective)
+//
+// Burn 1 means the window is consuming budget exactly as fast as the
+// objective allows; burn 2 means at twice that rate; sustained burn > 1
+// means the SLO will be missed if nothing changes — the standard
+// multi-window burn-rate alerting quantity, computed over a slot ring
+// like RateMeter so old observations age out. A nil *SLOTracker is a
+// no-op, and sched treats burn shedding as disabled when its tracker
+// is nil, keeping the nil-is-off discipline end to end.
+type SLOTracker struct {
+	mu      sync.Mutex
+	target  time.Duration
+	budget  float64 // error budget fraction, 1 - objective
+	slotDur time.Duration
+	slots   []sloSlot
+	now     func() time.Time
+}
+
+type sloSlot struct {
+	epoch     int64
+	good, bad int64
+}
+
+func newSLOTracker(target time.Duration, objective float64, window time.Duration, slots int, now func() time.Time) *SLOTracker {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if target <= 0 {
+		target = time.Second
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &SLOTracker{
+		target:  target,
+		budget:  1 - objective,
+		slotDur: window / time.Duration(slots),
+		slots:   make([]sloSlot, slots),
+		now:     now,
+	}
+}
+
+// NewSLOTracker builds a standalone tracker (30s window over 15 slots)
+// for callers that hold one directly rather than through a registry —
+// the scheduler's shedding input, for instance.
+func NewSLOTracker(target time.Duration, objective float64) *SLOTracker {
+	return newSLOTracker(target, objective, 30*time.Second, 15, time.Now)
+}
+
+// SetNow pins the tracker's clock; tests only, before first use.
+func (s *SLOTracker) SetNow(now func() time.Time) {
+	if s == nil || now == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Target returns the declared latency objective.
+func (s *SLOTracker) Target() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.target
+}
+
+// Observe classifies one request latency against the target.
+func (s *SLOTracker) Observe(latency time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	epoch := s.now().UnixNano() / int64(s.slotDur)
+	sl := &s.slots[epoch%int64(len(s.slots))]
+	if sl.epoch != epoch {
+		sl.epoch = epoch
+		sl.good, sl.bad = 0, 0
+	}
+	if latency <= s.target {
+		sl.good++
+	} else {
+		sl.bad++
+	}
+	s.mu.Unlock()
+}
+
+// BurnRate returns the window's budget burn rate (0 when the window is
+// empty). Values >= 1 mean the error budget is being consumed at least
+// as fast as the objective tolerates.
+func (s *SLOTracker) BurnRate() float64 {
+	good, bad := s.Window()
+	if good+bad == 0 {
+		return 0
+	}
+	frac := float64(bad) / float64(good+bad)
+	return frac / s.budget
+}
+
+// Window returns the live window's good/bad counts.
+func (s *SLOTracker) Window() (good, bad int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.now().UnixNano() / int64(s.slotDur)
+	oldest := epoch - int64(len(s.slots)) + 1
+	for i := range s.slots {
+		if s.slots[i].epoch >= oldest && s.slots[i].epoch <= epoch {
+			good += s.slots[i].good
+			bad += s.slots[i].bad
+		}
+	}
+	return good, bad
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/sim"
@@ -118,6 +119,24 @@ type Scheduler struct {
 	// (fabric.Device.IsDegraded) a variant places work on: slow-but-
 	// alive devices lose ties to healthy ones without being excluded.
 	DegradedPenalty float64
+	// Metrics, when set, receives continuous admission telemetry:
+	// sched.admitted / sched.shed.* counters, sched.queue.depth and
+	// sched.active gauges, and the EWMA service-time gauge. Nil is off
+	// (the obs discipline) and costs nothing.
+	Metrics *metrics.Registry
+	// SLO, when set together with SLOShedBurnRate, lets admission read
+	// the fleet's SLO burn rate: while the burn is at or above the
+	// threshold, arrivals that would otherwise queue are shed with
+	// ErrOverloaded instead — the queue is exactly the latency the SLO
+	// is already missing, so parking more work behind it only converts
+	// future budget into present queueing. The engines feed the tracker
+	// with per-query wall latency; admission only reads it.
+	SLO *metrics.SLOTracker
+	// SLOShedBurnRate is the burn-rate threshold for SLO shedding;
+	// 0 disables it. 1 sheds as soon as the error budget is being
+	// consumed at the objective's limit; higher values tolerate short
+	// bursts and shed only on clear overload.
+	SLOShedBurnRate float64
 
 	failures    map[string]float64 // device name -> decayed failover score
 	deviceSlots map[string]int     // device name -> worker slots held by active plans
@@ -282,6 +301,7 @@ func (s *Scheduler) Admit(ctx context.Context, variants []*plan.Physical) (*Admi
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	s.Metrics.Counter("sched.admit.requests").Inc()
 	s.mu.Lock()
 	if err := ctx.Err(); err != nil {
 		s.mu.Unlock()
@@ -297,16 +317,31 @@ func (s *Scheduler) Admit(ctx context.Context, variants []*plan.Physical) (*Admi
 	if s.QueueCap > 0 && len(s.queue) >= s.QueueCap {
 		nq, na := len(s.queue), len(s.active)
 		s.mu.Unlock()
+		s.shedMetric("queue_full")
 		return nil, fmt.Errorf("%w: admit queue full (%d queued, %d active)", ErrOverloaded, nq, na)
+	}
+	// SLO burn-rate shedding: the proactive arm. Queueing is only worth
+	// it while the SLO still has budget for the wait; once the burn rate
+	// says the budget is being spent faster than the objective allows,
+	// new arrivals are refused before they park.
+	if s.SLO != nil && s.SLOShedBurnRate > 0 {
+		if burn := s.SLO.BurnRate(); burn >= s.SLOShedBurnRate {
+			s.mu.Unlock()
+			s.shedMetric("slo_burn")
+			return nil, fmt.Errorf("%w: SLO burn rate %.2f at shed threshold %.2f", ErrOverloaded, burn, s.SLOShedBurnRate)
+		}
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if wait := s.projectedWaitLocked(); wait > 0 && time.Now().Add(wait).After(dl) {
 			s.mu.Unlock()
+			s.shedMetric("deadline")
 			return nil, fmt.Errorf("%w: projected queue wait %v exceeds deadline", ErrOverloaded, wait.Round(time.Microsecond))
 		}
 	}
 	w := &waiter{variants: variants, ready: make(chan struct{})}
 	s.queue = append(s.queue, w)
+	s.Metrics.Counter("sched.queued").Inc()
+	s.Metrics.Gauge("sched.queue.depth").Set(float64(len(s.queue)))
 	s.mu.Unlock()
 
 	select {
@@ -328,10 +363,13 @@ func (s *Scheduler) Admit(ctx context.Context, variants []*plan.Physical) (*Admi
 				break
 			}
 		}
+		s.Metrics.Gauge("sched.queue.depth").Set(float64(len(s.queue)))
 		s.mu.Unlock()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.shedMetric("deadline")
 			return nil, fmt.Errorf("%w: deadline expired in admit queue", ErrOverloaded)
 		}
+		s.Metrics.Counter("sched.queue.cancelled").Inc()
 		return nil, ctx.Err()
 	}
 }
@@ -426,9 +464,20 @@ func (s *Scheduler) admitLocked(variants []*plan.Physical) (*Admission, error) {
 	for _, l := range adm.links {
 		s.linkLoad[l]++
 	}
+	s.Metrics.Counter("sched.admitted").Inc()
+	s.Metrics.Gauge("sched.active").Set(float64(len(s.active)))
 	s.decayFailuresLocked()
 	s.rebalanceLocked()
 	return adm, nil
+}
+
+// shedMetric counts one shed, by reason and in total.
+func (s *Scheduler) shedMetric(reason string) {
+	if s.Metrics == nil {
+		return
+	}
+	s.Metrics.Counter("sched.shed").Inc()
+	s.Metrics.Counter("sched.shed." + reason).Inc()
 }
 
 // projectedWaitLocked estimates how long a new arrival would sit in the
@@ -520,6 +569,8 @@ func (s *Scheduler) Release(adm *Admission) {
 		w.adm, w.err = s.admitLocked(w.variants)
 		close(w.ready)
 	}
+	s.Metrics.Gauge("sched.active").Set(float64(len(s.active)))
+	s.Metrics.Gauge("sched.queue.depth").Set(float64(len(s.queue)))
 }
 
 // observeServiceLocked folds one completed execution into the EWMAs.
@@ -539,6 +590,7 @@ func (s *Scheduler) observeServiceLocked(dur time.Duration, cost sim.VTime) {
 			s.ewmaCost = (keep*s.ewmaCost + (10-keep)*cost) / 10
 		}
 	}
+	s.Metrics.Gauge("sched.ewma.service.ns").Set(float64(s.ewmaService))
 }
 
 // rebalanceLocked applies fair-share rate limits to every tracked link.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs/metrics"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 )
@@ -52,6 +53,11 @@ type ObjectStore struct {
 	// Faults injects read-path faults (transient errors, corrupt blobs,
 	// missing objects, degraded replicas). Nil means a fault-free store.
 	Faults *faults.Injector
+	// Metrics, when set, mirrors the hedge activity counters into the
+	// registry (storage.hedge.reads / wins / bytes, replica fallbacks)
+	// as they happen, so a live scrape sees defensive work without
+	// waiting for a query's ExecStats. Nil is off.
+	Metrics *metrics.Registry
 	// MaxRetries bounds the per-replica retries of a transient read
 	// fault before falling back to the next replica; 0 disables retry,
 	// modelling a legacy detect-only store.
@@ -181,6 +187,7 @@ func (o *ObjectStore) foldMain(m *readMeter) {
 func (o *ObjectStore) foldHedge(m *readMeter) {
 	o.hedgeOps.Add(m.ops)
 	o.hedgeBytes.Add(int64(m.bytes))
+	o.Metrics.Counter("storage.hedge.bytes").Add(int64(m.bytes))
 }
 
 func (o *ObjectStore) get(ctx context.Context, key string, copyOut bool) ([]byte, error) {
@@ -293,6 +300,7 @@ func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte
 			hedgeDecided = true
 			if pol.Budget.TryAcquire() {
 				o.hedged.Add(1)
+				o.Metrics.Counter("storage.hedge.reads").Inc()
 				launch(sec, true)
 				hedgeLaunched = true
 				inflight++
@@ -351,6 +359,7 @@ func (o *ObjectStore) foldRace(res *raceResult, won bool) {
 		o.foldHedge(&res.m)
 		if won {
 			o.hedgeWins.Add(1)
+			o.Metrics.Counter("storage.hedge.wins").Inc()
 		}
 		return
 	}

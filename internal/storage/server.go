@@ -15,6 +15,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 )
@@ -233,6 +234,13 @@ type Server struct {
 	// SegmentRows is the number of rows per segment for newly ingested
 	// data.
 	SegmentRows int
+
+	// Metrics, when set, receives every finished scan's ScanStats as
+	// fleet counters (scan.media.bytes, scan.shipped.bytes, pruning and
+	// encoded-eval savings, retry and speculation activity) plus a
+	// scan.shipped.bytes rolling rate. Nil is off and costs nothing on
+	// the scan path — the fold happens once per scan, not per segment.
+	Metrics *metrics.Registry
 }
 
 // NewServer wires a storage server onto fabric devices: media (charged
@@ -247,6 +255,33 @@ func NewServer(store *ObjectStore, media, proc *fabric.Device, mediaLink *fabric
 		mediaLink:   mediaLink,
 		SegmentRows: 1 << 16,
 	}
+}
+
+// foldScanMetrics lands one finished scan's stats on the registry.
+// Media bytes here are winner-only (losing hedges and cancelled
+// speculative morsels meter separately), so fleet byte totals never
+// double-charge defensive work.
+func (s *Server) foldScanMetrics(st *ScanStats) {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("scan.count").Inc()
+	m.Counter("scan.segments").Add(int64(st.SegmentsTotal))
+	m.Counter("scan.segments.pruned").Add(int64(st.SegmentsPruned))
+	m.Counter("scan.media.bytes").Add(int64(st.MediaBytes))
+	m.Counter("scan.shipped.bytes").Add(int64(st.ShippedBytes))
+	m.Counter("scan.shipped.rows").Add(st.ShippedRows)
+	m.Counter("scan.retries").Add(st.Retries)
+	m.Counter("scan.replica.fallbacks").Add(st.ReplicaFallbacks)
+	m.Counter("scan.retry.bytes").Add(int64(st.RetryBytes))
+	m.Counter("scan.encoded.segments").Add(int64(st.EncodedEvalSegments))
+	m.Counter("scan.decoded.bytes").Add(int64(st.DecodedBytes))
+	m.Counter("scan.decoded.bytes.saved").Add(int64(st.DecodedBytesSaved))
+	m.Counter("scan.speculative.morsels").Add(st.SpeculativeMorsels)
+	m.Counter("scan.speculative.wins").Add(st.SpeculativeWins)
+	m.Counter("scan.speculative.bytes").Add(int64(st.SpeculativeBytes))
+	m.RateMeter("scan.shipped.bytes.rate").Mark(int64(st.ShippedBytes))
 }
 
 // Proc exposes the in-storage processor device.
@@ -354,6 +389,7 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		stats.Retries += rec.Retries
 		stats.ReplicaFallbacks += rec.ReplicaFallbacks
 		stats.RetryBytes += rec.RetryBytes
+		s.foldScanMetrics(&stats)
 	}()
 	t, err := s.Table(table)
 	if err != nil {
