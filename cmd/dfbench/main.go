@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dfbench [-rows N] [-only E2,E7] [-list] [-trace FILE] [-json FILE]
-//	        [-deadline D] [-offered-load 1,4,16] [-hedge=false]
+//	        [-deadline D] [-offered-load 1,4,16] [-hedge=false] [-scrub=false]
 //	        [-metrics-addr :9090] [-metrics-hold D] [-metrics-json FILE]
 //
 // Each experiment reproduces the scenario of one figure or Section-7
@@ -50,6 +50,8 @@ var (
 		"comma-separated worker counts for the E22 parallelism sweep, e.g. 1,2,4,8 (empty = experiment default)")
 	hedgeFlag = flag.Bool("hedge", true,
 		"run the hedging+speculation arm of the E24 tail-latency sweep (false = baseline only)")
+	scrubFlag = flag.Bool("scrub", true,
+		"run the throttled+unthrottled repair arms of the E26 self-healing run (false = detect-only baseline)")
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve a Prometheus-text /metrics endpoint on host:port for the duration of the run")
 	metricsHold = flag.Duration("metrics-hold", 0,
@@ -352,6 +354,13 @@ func registry() []experiment {
 			}
 			return r.Table, nil
 		}},
+		{"E26", "self-healing storage: scrub + read-repair + re-replication under SLO throttling (robustness)", func(rows int) (*experiments.Table, error) {
+			r, err := experiments.E26SelfHeal(rows, experiments.E26Options{NoHeal: !*scrubFlag})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
 		{"A1", "ablation: wire compression vs network speed", func(rows int) (*experiments.Table, error) {
 			r, err := experiments.A1WireCompression(rows)
 			if err != nil {
@@ -409,6 +418,15 @@ type jsonEntry struct {
 	SpeculativeMorsels   int64 `json:"speculativeMorsels"`
 	BreakerTrips         int64 `json:"breakerTrips"`
 	RetryBudgetExhausted int64 `json:"retryBudgetExhausted"`
+	// Self-healing counters (E26) and the deterministic fault seed the
+	// run's damage schedule was drawn from — also unconditional, so the
+	// artifact schema is stable and a zero reads as "no repair work",
+	// not "field missing".
+	ReadRepairs  int64 `json:"readRepairs"`
+	ScrubRepairs int64 `json:"scrubRepairs"`
+	Recloned     int64 `json:"recloned"`
+	RepairBytes  int64 `json:"repairBytes"`
+	FaultSeed    int64 `json:"faultSeed"`
 }
 
 func writeTraceFile(path string, rows int) error {
@@ -497,6 +515,8 @@ func main() {
 			EncodedEval: t.EncodedEval, DecodedBytesSaved: t.DecodedBytesSaved,
 			HedgedReads: t.HedgedReads, SpeculativeMorsels: t.SpeculativeMorsels,
 			BreakerTrips: t.BreakerTrips, RetryBudgetExhausted: t.RetryBudgetExhausted,
+			ReadRepairs: t.ReadRepairs, ScrubRepairs: t.ScrubRepairs,
+			Recloned: t.Recloned, RepairBytes: t.RepairBytes, FaultSeed: t.FaultSeed,
 		})
 	}
 	if *tracePath != "" {

@@ -6,12 +6,15 @@
 //	go run ./cmd/dfshell [-rows N]
 //
 // Meta commands: \tables, \explain <sql>, \stats [<table>], \trace,
-// \metrics, \topo, \quit. Bare \stats toggles the full execution-stats
-// block after each query; \trace toggles virtual-time tracing, printing
-// a per-device span timeline and the concurrency factor; \metrics
-// prints the live fleet registry — every query executed in the session
-// lands on its counters, histograms and gauges. Prefixing a statement
-// with EXPLAIN ANALYZE traces just that one query.
+// \metrics, \scrub, \topo, \quit. Bare \stats toggles the full
+// execution-stats block after each query; \trace toggles virtual-time
+// tracing, printing a per-device span timeline and the concurrency
+// factor; \metrics prints the live fleet registry — every query executed
+// in the session lands on its counters, histograms and gauges; \scrub
+// turns on self-healing storage (checksum verification + read-repair)
+// the first time and runs one scrub + re-replication pass, printing the
+// durability report. Prefixing a statement with EXPLAIN ANALYZE traces
+// just that one query.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
+	"repro/internal/repair"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
@@ -74,9 +78,10 @@ func main() {
 
 	fmt.Printf("dfshell — data-flow engine over %s\n", cluster.Name)
 	fmt.Printf("tables: lineitem (%d rows), orders (%d rows)\n", *rows, *rows/4)
-	fmt.Println(`type SQL, or \tables \explain <sql> \stats [<table>] \trace \metrics \topo \quit`)
+	fmt.Println(`type SQL, or \tables \explain <sql> \stats [<table>] \trace \metrics \scrub \topo \quit`)
 
 	showStats := false
+	var ctrl *repair.Controller
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -112,6 +117,22 @@ func main() {
 			} else {
 				fmt.Println("tracing off")
 			}
+		case line == `\scrub`:
+			if ctrl == nil {
+				ctrl = eng.EnableRepair(repair.Config{})
+				fmt.Println("self-healing on: reads verify checksums and write back repairs")
+			}
+			sum := ctrl.ScrubPass(context.Background())
+			ctrl.ReclonePass(context.Background())
+			rep := ctrl.Stats()
+			fmt.Printf("scrub: %d clean, %d corrupt (%d healed), %d lost\n",
+				sum.Clean, sum.Corrupt, sum.Healed, sum.Lost)
+			fmt.Printf("lifetime: read-repairs=%d scrub-heals=%d recloned=%d unrecoverable=%d at-risk=%d",
+				rep.ReadRepairs, rep.ScrubRepairs, rep.Recloned, rep.Unrecoverable, rep.AtRiskObjects)
+			if rep.LastMTTR > 0 {
+				fmt.Printf(" mttr=%s", rep.LastMTTR)
+			}
+			fmt.Println()
 		case line == `\stats`:
 			showStats = !showStats
 			if showStats {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/plan"
+	"repro/internal/repair"
 	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -89,6 +90,13 @@ type DataFlowEngine struct {
 	// scheduler's SLO field at the same tracker (and set its
 	// SLOShedBurnRate) to close the loop: burn-rate-driven shedding.
 	SLO *metrics.SLOTracker
+	// Repair is the self-healing storage controller, wired with
+	// EnableRepair: payload verification on every replica read,
+	// read-repair write-backs, and the background scrub/re-replication
+	// loops (started by the caller via Repair.Run). Nil (the default)
+	// disables verification and repair entirely and adds zero cost to
+	// the read path.
+	Repair *repair.Controller
 	// pub caches the registry's resolved instruments so per-query
 	// publishing is pure atomic updates; rebuilt when Metrics changes.
 	pubMu sync.Mutex
@@ -156,6 +164,38 @@ func (e *DataFlowEngine) EnableResilience(p *resilience.Policy) {
 			publishBreakerGauge(e.Metrics, dev, st)
 		}
 	}
+}
+
+// EnableRepair installs (or, with nil cfg semantics, constructs with
+// defaults) the self-healing storage controller: every replica read is
+// checksum-verified, clean payloads are written back over corrupt
+// replicas (read-repair), and the returned controller's ScrubPass /
+// ReclonePass / Run drive background scrubbing and re-replication. The
+// controller shares the engine's resilience policy (corrupt replicas
+// strike health and breakers), its SLO tracker (BurnMax pauses repair
+// while the foreground misses its objective), its scheduler's repair
+// admission class, and its metrics registry (durability gauges). Call
+// after EnableResilience / SetMetrics so the collaborators exist.
+func (e *DataFlowEngine) EnableRepair(cfg repair.Config) *repair.Controller {
+	store := e.Storage.Store()
+	c := repair.New(store, cfg)
+	e.Storage.EnableVerify(true)
+	c.AttachResilience(e.Resilience)
+	c.AttachSLO(e.SLO)
+	c.AttachAdmission(e.Scheduler.AllowRepair)
+	c.AttachMetrics(e.Metrics)
+	e.Repair = c
+	return c
+}
+
+// DisableRepair removes the self-healing controller and read-path
+// verification, restoring the pre-repair engine exactly.
+func (e *DataFlowEngine) DisableRepair() {
+	e.Repair = nil
+	store := e.Storage.Store()
+	store.Verify = nil
+	store.WriteBack = false
+	store.OnRepair = nil
 }
 
 // CreateTable registers a table.
@@ -690,6 +730,9 @@ func addScanStats(dst *storage.ScanStats, s storage.ScanStats) {
 	dst.SpeculativeMorsels += s.SpeculativeMorsels
 	dst.SpeculativeWins += s.SpeculativeWins
 	dst.SpeculativeBytes += s.SpeculativeBytes
+	dst.CorruptReads += s.CorruptReads
+	dst.ReadRepairs += s.ReadRepairs
+	dst.RepairBytes += s.RepairBytes
 }
 
 func (e *DataFlowEngine) tableSchema(name string) (int, *columnar.Schema, error) {
@@ -973,6 +1016,10 @@ func (e *DataFlowEngine) buildStats(ph *plan.Physical, before map[meterKey]meter
 		SpeculativeMorsels: scan.SpeculativeMorsels,
 		SpeculativeWins:    scan.SpeculativeWins,
 		SpeculativeBytes:   scan.SpeculativeBytes,
+
+		CorruptReads: scan.CorruptReads,
+		ReadRepairs:  scan.ReadRepairs,
+		RepairBytes:  scan.RepairBytes,
 	}
 	var maxBusy sim.VTime
 	for _, d := range e.Cluster.Devices() {

@@ -167,6 +167,20 @@ type ExecStats struct {
 	// denied — the back-pressure that keeps fault storms from melting
 	// into retry storms.
 	RetryBudgetExhausted int64
+
+	// Self-healing accounting (stores with verification enabled).
+	// Repair work is metered apart from the query's byte totals — these
+	// counters make the heal loop auditable per query.
+
+	// CorruptReads counts read payloads this query's scans discarded
+	// because a replica served bytes that failed checksum verification.
+	CorruptReads int64
+	// ReadRepairs counts replica blobs healed by write-backs this
+	// query's reads triggered.
+	ReadRepairs int64
+	// RepairBytes is the volume those write-backs wrote (never charged
+	// to the query).
+	RepairBytes sim.Bytes
 }
 
 // String summarizes the stats on a few lines.
@@ -188,6 +202,10 @@ func (s ExecStats) String() string {
 			s.HedgeWins, s.HedgedReads, s.HedgeBytes,
 			s.SpeculativeWins, s.SpeculativeMorsels, s.SpeculativeBytes,
 			s.BreakerTrips, s.RetryBudgetExhausted)
+	}
+	if s.CorruptReads > 0 || s.ReadRepairs > 0 {
+		fmt.Fprintf(&b, "  self-heal: corrupt-reads=%d read-repairs=%d repaired=%s\n",
+			s.CorruptReads, s.ReadRepairs, s.RepairBytes)
 	}
 	names := make([]string, 0, len(s.LinkBytes))
 	for n := range s.LinkBytes {

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // Benchmark smoke targets: CI runs these with -benchtime=1x so a perf
 // regression that turns into a hang or an error is caught cheaply; local
@@ -61,6 +64,17 @@ func BenchmarkE25Telemetry(b *testing.B) {
 		Workers: 2, Bursts: []int{2, 12}}
 	for i := 0; i < b.N; i++ {
 		if _, err := E25Telemetry(3000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE26SelfHeal(b *testing.B) {
+	opts := E26Options{Trials: 3, BaseLatency: 200 * time.Microsecond,
+		Workers: 2, Segments: 12, HealWindow: 200 * time.Millisecond,
+		DeadAfter: 10 * time.Millisecond, Streams: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := E26SelfHeal(3000, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

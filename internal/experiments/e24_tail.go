@@ -132,6 +132,7 @@ func E24TailLatency(rows int, opts E24Options) (*E24Result, error) {
 			"latencies are wall-clock; hedged/speculated = launched/won; " +
 			"extra bytes = duplicate media reads the defenses burned; " +
 			"p99 x = baseline p99 over hedged p99 at the same severity",
+		FaultSeed: e24Seed,
 	}}
 
 	arms := []bool{false, true}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// e26TestOptions shrinks the run so the heal loop completes in a few
+// hundred milliseconds per arm while the repair storm still visibly
+// contends with the foreground.
+func e26TestOptions() E26Options {
+	return E26Options{
+		Trials:      4,
+		BaseLatency: 200 * time.Microsecond,
+		Workers:     2,
+		Segments:    12,
+		DamageEvery: 3,
+		Contention:  2,
+		HealWindow:  250 * time.Millisecond,
+		DeadAfter:   10 * time.Millisecond,
+		Streams:     4,
+	}
+}
+
+func TestE26SelfHealShape(t *testing.T) {
+	res, err := E26SelfHeal(3000, e26TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want off/throttled/unthrottled", len(res.Rows))
+	}
+	byArm := map[string]E26Row{}
+	for _, row := range res.Rows {
+		byArm[row.Arm] = row
+	}
+	off, thr, unthr := byArm["off"], byArm["throttled"], byArm["unthrottled"]
+
+	// The no-repair arm detects and routes around but never heals:
+	// the store stays under-replicated, every later query keeps paying
+	// the corrupt-read fallback tax, and no repair work is recorded.
+	if off.AtRiskEnd == 0 {
+		t.Error("no-repair arm ended fully replicated — it must not heal")
+	}
+	if off.CorruptSteady == 0 {
+		t.Error("no-repair arm stopped paying the fallback tax without a repair")
+	}
+	if off.ReadRepairs+off.ScrubHeals+off.Recloned != 0 || off.RepairBytes != 0 {
+		t.Errorf("no-repair arm recorded repair work: %+v", off)
+	}
+
+	// Both repair arms close the loop: at-risk drains to zero, damage is
+	// healed, the dead replica is re-cloned with a bounded recorded MTTR,
+	// and the experiment itself verified zero post-heal overhead.
+	for _, row := range []E26Row{thr, unthr} {
+		if row.AtRiskEnd != 0 {
+			t.Errorf("%s arm ended with %d objects at risk", row.Arm, row.AtRiskEnd)
+		}
+		if row.CorruptSteady != 0 {
+			t.Errorf("%s arm still pays %d corrupt reads after the heal", row.Arm, row.CorruptSteady)
+		}
+		if row.ReadRepairs+row.ScrubHeals == 0 {
+			t.Errorf("%s arm healed no damaged blobs", row.Arm)
+		}
+		if row.Recloned == 0 {
+			t.Errorf("%s arm re-cloned nothing despite a dead replica", row.Arm)
+		}
+		if row.MTTR <= 0 {
+			t.Errorf("%s arm recorded no MTTR for its completed restoration", row.Arm)
+		}
+		if row.RepairBytes == 0 {
+			t.Errorf("%s arm wrote no repair bytes", row.Arm)
+		}
+	}
+
+	// The throttle is the point: the paced arm's foreground p99 must sit
+	// closer to the no-repair baseline than the storm's. (The strict
+	// 1.5x acceptance bound is asserted at dfbench scale; here the
+	// ordering must hold with a generous margin for CI timer noise.)
+	if thr.P99 == 0 || unthr.P99 == 0 || off.P99 == 0 {
+		t.Fatal("missing p99 samples")
+	}
+	if thr.P99x >= unthr.P99x {
+		t.Errorf("throttled p99 ratio %.2fx not below unthrottled %.2fx (off %v, throttled %v, unthrottled %v)",
+			thr.P99x, unthr.P99x, off.P99, thr.P99, unthr.P99)
+	}
+
+	if res.Table == nil || len(res.Table.Rows) != len(res.Rows) {
+		t.Fatal("table rows do not match arm rows")
+	}
+	if res.Table.FaultSeed != e26Seed {
+		t.Errorf("table fault seed = %#x, want %#x", res.Table.FaultSeed, e26Seed)
+	}
+	if res.Table.Recloned == 0 || res.Table.ReadRepairs+res.Table.ScrubRepairs == 0 {
+		t.Error("table carries no repair counters for the -json artifact")
+	}
+	for _, m := range []string{"p99_us@off", "p99x@throttled", "p99x@unthrottled",
+		"mttr_ms@throttled", "mttr_ms@unthrottled", "at_risk_end@off"} {
+		if _, ok := res.Table.Metrics[m]; !ok {
+			t.Errorf("missing %s metric", m)
+		}
+	}
+}
+
+func TestE26NoHealArm(t *testing.T) {
+	opts := e26TestOptions()
+	opts.Trials = 2
+	opts.NoHeal = true
+	res, err := E26SelfHeal(2000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Arm != "off" {
+		t.Fatalf("NoHeal run produced %d rows (want just the no-repair arm)", len(res.Rows))
+	}
+}

@@ -38,6 +38,17 @@ type Table struct {
 	SpeculativeMorsels   int64
 	BreakerTrips         int64
 	RetryBudgetExhausted int64
+	// Self-healing totals (E26), for the -json artifact: blobs healed by
+	// foreground read-repair, by the background scrubber and by
+	// re-replication, and the bytes all three wrote.
+	ReadRepairs  int64
+	ScrubRepairs int64
+	Recloned     int64
+	RepairBytes  int64
+	// FaultSeed is the deterministic seed behind the run's fault/damage
+	// schedule (E24, E26), emitted so an artifact pins the exact failure
+	// sequence it was measured under; zero when no faults were injected.
+	FaultSeed int64
 }
 
 // AddRow appends a row built from the given cells.

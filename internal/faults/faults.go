@@ -56,6 +56,13 @@ const (
 	// on a fabric link — a congested or flapping-PHY link that still
 	// delivers every payload.
 	JitterLink
+	// StickyCorrupt persistently damages the stored replica blob the
+	// first time a matching read touches it: unlike CorruptBlob, every
+	// subsequent read of that replica returns the same damaged bytes
+	// until a repair overwrites them. Retrying the same replica cannot
+	// help, so the kind is classified permanent; only another replica
+	// (route-around) or the repair controller (heal) recovers.
+	StickyCorrupt
 )
 
 // String names the kind.
@@ -63,7 +70,7 @@ func (k Kind) String() string {
 	names := [...]string{
 		"transient-read", "corrupt-blob", "object-missing",
 		"device-offline", "link-flap", "slow-stage",
-		"degraded-device", "jitter-link",
+		"degraded-device", "jitter-link", "sticky-corrupt",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -298,7 +305,8 @@ func (e *FaultError) Error() string {
 // The gray-failure kinds are transient: a degraded device or jittery
 // link still serves, so any error surfaced around them (a deadline
 // blown by the slowdown, a hedge losing its race) is worth retrying
-// elsewhere rather than failing the query.
+// elsewhere rather than failing the query. StickyCorrupt and
+// DeviceOffline are permanent: the damage outlives any retry.
 func (e *FaultError) Transient() bool {
 	switch e.Kind {
 	case TransientRead, ObjectMissing, LinkFlap, SlowStage, DegradedDevice, JitterLink:

@@ -176,7 +176,7 @@ func TestTransientClassification(t *testing.T) {
 	}{
 		{TransientRead, true}, {ObjectMissing, true}, {LinkFlap, true},
 		{SlowStage, true}, {CorruptBlob, false}, {DeviceOffline, false},
-		{DegradedDevice, true}, {JitterLink, true},
+		{DegradedDevice, true}, {JitterLink, true}, {StickyCorrupt, false},
 	}
 	for _, c := range cases {
 		err := fmt.Errorf("wrapped: %w", &FaultError{Kind: c.kind, Target: "x"})

@@ -172,6 +172,31 @@ func (b *BreakerSet) Success(key string) {
 	}
 }
 
+// Reset force-closes key's breaker, clearing its failure streak without
+// waiting out the cooldown. For callers that *know* the participant is
+// healthy again — the repair controller closes a replica's breaker the
+// moment re-replication has restored it with verified bytes, rather
+// than leaving it condemned until a half-open probe happens by.
+func (b *BreakerSet) Reset(key string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	br := b.breakers[key]
+	if br == nil || br.state == Closed {
+		b.mu.Unlock()
+		return
+	}
+	br.state = Closed
+	br.failures = 0
+	br.probes = 0
+	cb := b.OnChange
+	b.mu.Unlock()
+	if cb != nil {
+		cb(key, Closed)
+	}
+}
+
 // Failure reports a failed placement on key: it extends the failure
 // streak and trips the breaker at TripThreshold; a half-open probe
 // failure re-opens immediately.

@@ -24,6 +24,12 @@ type healthStat struct {
 	ewma    float64 // nanoseconds
 	dev     float64 // EWMA of |sample - ewma|, nanoseconds
 	samples int64
+	// strikes counts integrity failures (checksum mismatches, lost
+	// replicas) charged against the key and not yet cleared by a
+	// repair. Any positive count demotes the key below every healthy
+	// key in Rank: latency history says nothing about a replica that
+	// returns wrong bytes.
+	strikes int64
 }
 
 // NewTracker returns a tracker whose EWMAs move by alpha per sample
@@ -139,11 +145,58 @@ func (t *Tracker) Keys() []string {
 	return keys
 }
 
+// MarkCorrupt charges one integrity strike against key: a read from it
+// returned bytes that failed verification, or its data is known lost.
+// Struck keys sort after every clean key in Rank until ClearCorrupt —
+// latency ranking cannot be allowed to keep steering reads at a replica
+// that serves fast garbage.
+func (t *Tracker) MarkCorrupt(key string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil {
+		st = &healthStat{}
+		t.stats[key] = st
+	}
+	st.strikes++
+}
+
+// ClearCorrupt forgives key's integrity strikes — called after a repair
+// write-back or re-replication restores known-good bytes.
+func (t *Tracker) ClearCorrupt(key string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.stats[key]; st != nil {
+		st.strikes = 0
+	}
+}
+
+// CorruptStrikes reports key's uncleared integrity strikes.
+func (t *Tracker) CorruptStrikes(key string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.stats[key]; st != nil {
+		return st.strikes
+	}
+	return 0
+}
+
 // Rank orders keys by ascending EWMA latency: healthiest first. Keys
 // without enough samples keep their incoming relative order and sort
 // before sampled keys, so cold replicas are probed first and the
-// ordering is deterministic from the first read. The slice is sorted in
-// place and returned.
+// ordering is deterministic from the first read. Keys with uncleared
+// integrity strikes sort after everything else regardless of latency: a
+// corrupt replica must stop winning reads and hedges until it is
+// repaired. The slice is sorted in place and returned.
 func (t *Tracker) Rank(keys []string) []string {
 	if t == nil {
 		return keys
@@ -151,14 +204,14 @@ func (t *Tracker) Rank(keys []string) []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sort.SliceStable(keys, func(i, j int) bool {
-		a, aok := t.stats[keys[i]], false
-		b, bok := t.stats[keys[j]], false
-		if a != nil && a.samples >= int64(t.min) {
-			aok = true
+		a, b := t.stats[keys[i]], t.stats[keys[j]]
+		abad := a != nil && a.strikes > 0
+		bbad := b != nil && b.strikes > 0
+		if abad != bbad {
+			return !abad // clean keys before struck keys
 		}
-		if b != nil && b.samples >= int64(t.min) {
-			bok = true
-		}
+		aok := a != nil && a.samples >= int64(t.min)
+		bok := b != nil && b.samples >= int64(t.min)
 		if aok != bok {
 			return !aok // unsampled first: probe cold replicas
 		}

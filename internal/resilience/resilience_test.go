@@ -55,6 +55,42 @@ func TestTrackerRank(t *testing.T) {
 	}
 }
 
+// Integrity strikes demote a key to last place in the ranking no matter
+// how fast it is, and forgiveness restores latency order.
+func TestTrackerCorruptStrikes(t *testing.T) {
+	tr := NewTracker(0.5, 1)
+	tr.Observe("fast", 10*time.Microsecond)
+	tr.Observe("slow", time.Millisecond)
+	tr.MarkCorrupt("fast")
+	if tr.CorruptStrikes("fast") != 1 {
+		t.Fatalf("strikes = %d, want 1", tr.CorruptStrikes("fast"))
+	}
+	got := tr.Rank([]string{"fast", "slow", "cold"})
+	if got[len(got)-1] != "fast" {
+		t.Fatalf("struck key not last: %v", got)
+	}
+	// Cold keys still probe first among the unstruck.
+	if got[0] != "cold" {
+		t.Fatalf("cold key not first among clean: %v", got)
+	}
+	tr.ClearCorrupt("fast")
+	if tr.CorruptStrikes("fast") != 0 {
+		t.Fatal("ClearCorrupt left strikes")
+	}
+	got = tr.Rank([]string{"slow", "fast"})
+	if got[0] != "fast" {
+		t.Fatalf("forgiven key not restored to latency order: %v", got)
+	}
+	// Nil tracker and unknown keys are safe no-ops.
+	var nilTr *Tracker
+	nilTr.MarkCorrupt("x")
+	nilTr.ClearCorrupt("x")
+	if nilTr.CorruptStrikes("x") != 0 {
+		t.Fatal("nil tracker reported strikes")
+	}
+	tr.ClearCorrupt("never-seen")
+}
+
 // fakeClock is a manually advanced breaker clock.
 type fakeClock struct{ t time.Time }
 

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs/metrics"
+)
+
+// The background repair admission class: repair defers while the SLO
+// burn rate is at or above RepairBurnRate and admits otherwise; nil
+// schedulers and unset thresholds admit everything.
+func TestAllowRepair(t *testing.T) {
+	var nilSched *Scheduler
+	if !nilSched.AllowRepair() {
+		t.Fatal("nil scheduler rejected repair")
+	}
+
+	s := New()
+	if !s.AllowRepair() {
+		t.Fatal("scheduler without SLO rejected repair")
+	}
+
+	reg := metrics.New()
+	s.Metrics = reg
+	slo := metrics.NewSLOTracker(time.Millisecond, 0.99)
+	s.SLO = slo
+	if !s.AllowRepair() {
+		t.Fatal("unset RepairBurnRate rejected repair")
+	}
+	s.RepairBurnRate = 1.0
+
+	// A healthy window (all requests under target) admits repair.
+	for i := 0; i < 20; i++ {
+		slo.Observe(100 * time.Microsecond)
+	}
+	if !s.AllowRepair() {
+		t.Fatal("repair deferred under a healthy SLO")
+	}
+	if reg.Counter("sched.repair.admitted").Value() == 0 {
+		t.Error("admitted decision not counted")
+	}
+
+	// Burning the whole error budget defers repair.
+	for i := 0; i < 20; i++ {
+		slo.Observe(10 * time.Millisecond)
+	}
+	if s.AllowRepair() {
+		t.Fatalf("repair admitted at burn rate %.1f >= threshold", slo.BurnRate())
+	}
+	if reg.Counter("sched.repair.deferred").Value() == 0 {
+		t.Error("deferred decision not counted")
+	}
+}

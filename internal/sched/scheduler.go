@@ -137,6 +137,12 @@ type Scheduler struct {
 	// consumed at the objective's limit; higher values tolerate short
 	// bursts and shed only on clear overload.
 	SLOShedBurnRate float64
+	// RepairBurnRate is the admission threshold for the background
+	// repair class: AllowRepair defers repair work while the SLO burn
+	// rate is at or above it, so scrub and re-replication I/O yields the
+	// device queues to a foreground that is already missing its
+	// objective. 0 admits repair unconditionally.
+	RepairBurnRate float64
 
 	failures    map[string]float64 // device name -> decayed failover score
 	deviceSlots map[string]int     // device name -> worker slots held by active plans
@@ -188,6 +194,26 @@ func New() *Scheduler {
 		DegradedPenalty:   DefaultDegradedPenalty,
 		FairShare:         true,
 	}
+}
+
+// AllowRepair is the background repair class's admission check: repair
+// traffic (scrub reads, write-backs, re-clones) asks before each
+// quantum of work and defers while the SLO burn rate is at or above
+// RepairBurnRate — durability work must not finish off a tail that
+// foreground queries are already losing. Decisions are counted as
+// sched.repair.admitted / sched.repair.deferred. A nil scheduler or an
+// unset threshold admits everything: repair then paces only on its own
+// token budget.
+func (s *Scheduler) AllowRepair() bool {
+	if s == nil {
+		return true
+	}
+	if s.SLO != nil && s.RepairBurnRate > 0 && s.SLO.BurnRate() >= s.RepairBurnRate {
+		s.Metrics.Counter("sched.repair.deferred").Inc()
+		return false
+	}
+	s.Metrics.Counter("sched.repair.admitted").Inc()
+	return true
 }
 
 // NoteFailover records that a query failed over away from the named

@@ -66,6 +66,33 @@ type ObjectStore struct {
 	// is capped at 8x. Zero skips the sleep but still counts retries.
 	RetryBase time.Duration
 
+	// Verify, when set, checks every successful read's payload before it
+	// is returned: a non-nil error marks the serving replica corrupt,
+	// the payload is discarded onto the corrupt-side meters (never the
+	// main Meter) and the read falls back to the next replica. Nil (the
+	// default) keeps the store integrity-blind, deferring detection to
+	// downstream checksums as before.
+	Verify func(key string, data []byte) error
+	// WriteBack enables read-repair: after a read that rejected one or
+	// more corrupt replicas succeeds, the known-good payload is written
+	// back over each damaged replica, metered as repair bytes. Off, the
+	// store only detects and routes around — the damage persists.
+	WriteBack bool
+	// RepairContention stretches foreground replica reads while repair
+	// I/O (scrub reads, write-backs, re-clones) is in flight on the
+	// store: each in-flight repair op adds RepairContention x
+	// BaseLatency to a read's service time, modelling the shared device
+	// queue behind both traffic classes. Zero (the default) makes repair
+	// I/O free, which is the pre-repair behaviour.
+	RepairContention float64
+	// OnRepair, when set, observes each completed *foreground*
+	// read-repair write-back with the object key and the replica index
+	// healed — the repair controller's ledger hook for heals it cannot
+	// see itself. Background repairs through RepairReplica (scrub heals,
+	// re-clones) do not fire it: the controller already counts those on
+	// its own ledger. Must be safe for concurrent use.
+	OnRepair func(key string, replica int)
+
 	retries    atomic.Int64
 	fallbacks  atomic.Int64
 	retryBytes atomic.Int64
@@ -74,6 +101,21 @@ type ObjectStore struct {
 	hedgeWins  atomic.Int64
 	hedgeOps   atomic.Int64
 	hedgeBytes atomic.Int64
+
+	corruptReads atomic.Int64
+	corruptOps   atomic.Int64
+	corruptBytes atomic.Int64
+	repairWrites atomic.Int64
+	repairBytes  atomic.Int64
+	scrubReads   atomic.Int64
+	scrubBytes   atomic.Int64
+	lostReads    atomic.Int64
+	repairLoad   atomic.Int64
+
+	// stickyDamaged dedups StickyCorrupt damage per replica blob so a
+	// point with budget left cannot flip the same byte back to clean;
+	// repair write-backs clear the entry. Guarded by mu.
+	stickyDamaged map[string]struct{}
 }
 
 // DefaultMaxRetries is the retry bound of a freshly built store.
@@ -116,9 +158,12 @@ func (o *ObjectStore) Put(key string, data []byte) {
 	n := o.reps
 	copies := make([][]byte, n)
 	for i := range copies {
-		copies[i] = append([]byte(nil), data...)
+		// Never store a nil slice: a nil replica slot means the replica
+		// is lost (FailReplica), and an empty object must stay readable.
+		copies[i] = append(make([]byte, 0, len(data)), data...)
 	}
 	o.objects[key] = copies
+	o.clearStickyLocked(key)
 	o.mu.Unlock()
 	o.Meter.AddOps(1)
 	o.Meter.AddBytes(sim.Bytes(len(data) * n))
@@ -144,9 +189,17 @@ func (o *ObjectStore) replicaKey(r int) string {
 	return fmt.Sprintf("%s/r%d", o.Name, r)
 }
 
+// singleReplica is the shared read order of every single-replica store;
+// it is never mutated (Rank only reorders slices of length >= 2), so
+// the hot path stays allocation-free when replication is off.
+var singleReplica = []int{0}
+
 // replicaOrder returns the replica indices to try, healthiest first
 // when health tracking is on and natural order otherwise.
 func (o *ObjectStore) replicaOrder(n int) []int {
+	if n == 1 {
+		return singleReplica
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -209,17 +262,40 @@ func (o *ObjectStore) get(ctx context.Context, key string, copyOut bool) ([]byte
 // getSequential walks the replicas in order, running the full retry
 // loop against each; the pre-resilience read path.
 func (o *ObjectStore) getSequential(ctx context.Context, key string, copies [][]byte, order []int, copyOut bool) ([]byte, error) {
+	return o.seqRead(ctx, key, copies, order, copyOut, false, nil)
+}
+
+// seqRead walks the replicas in order, running the full retry loop
+// against each. allFallback marks every replica as a fallback (the
+// hedge path's tail, where order excludes the replicas already raced);
+// bad carries replica indices already known corrupt from an earlier
+// race, so the eventual clean payload can repair them too. A replica
+// whose payload fails Verify joins bad and the walk continues — its
+// metering lands on the corrupt-side counters, never the main Meter —
+// and once any replica serves a verified payload, every replica in bad
+// is repaired from it.
+func (o *ObjectStore) seqRead(ctx context.Context, key string, copies [][]byte, order []int, copyOut, allFallback bool, bad []int) ([]byte, error) {
 	var lastErr error
 	for i, r := range order {
-		if i > 0 {
+		if i > 0 || allFallback {
 			o.fallbacks.Add(1)
 		}
 		var m readMeter
-		data, err := o.readLoop(ctx, key, r, copies[r], copyOut, i > 0, true, &m)
-		o.foldMain(&m)
+		data, err := o.readLoop(ctx, key, r, copies[r], copyOut, i > 0 || allFallback, true, &m)
 		if err == nil {
+			if verr := o.verifyPayload(key, r, data, &m); verr != nil {
+				bad = append(bad, r)
+				lastErr = verr
+				if ctx != nil && ctx.Err() != nil {
+					break
+				}
+				continue
+			}
+			o.foldMain(&m)
+			o.repairBad(key, bad, data)
 			return data, nil
 		}
+		o.foldMain(&m)
 		lastErr = err
 		if ctx != nil && ctx.Err() != nil {
 			break // cancelled mid-read: stop burning replicas
@@ -263,7 +339,7 @@ func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte
 		go func() {
 			var m readMeter
 			data, err := o.readLoop(rctx, key, r, copies[r], copyOut, false, !hedge, &m)
-			ch <- raceResult{data: data, err: err, m: m, hedge: hedge}
+			ch <- raceResult{data: data, err: err, m: m, r: r, hedge: hedge}
 		}()
 	}
 	launch(prim, false)
@@ -275,27 +351,36 @@ func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte
 
 	var winner *raceResult
 	var lastErr error
+	var bad []int // replicas that served corrupt payloads, repaired below
+	// accept vets one finished racer: an error or a payload that fails
+	// Verify rejects it (corrupt work lands on the corrupt-side meters,
+	// the replica joins bad), otherwise it becomes the winner — which
+	// may well be the race's *loser* arriving after a corrupt first
+	// finisher was rejected.
+	accept := func(res raceResult) {
+		if res.err != nil {
+			lastErr = res.err
+			o.foldRace(&res, false)
+			return
+		}
+		if verr := o.verifyPayload(key, res.r, res.data, &res.m); verr != nil {
+			bad = append(bad, res.r)
+			lastErr = verr
+			return
+		}
+		winner = &res
+	}
 	for inflight > 0 && winner == nil {
 		if hedgeDecided {
 			res := <-ch
 			inflight--
-			if res.err == nil {
-				winner = &res
-			} else {
-				lastErr = res.err
-				o.foldRace(&res, false)
-			}
+			accept(res)
 			continue
 		}
 		select {
 		case res := <-ch:
 			inflight--
-			if res.err == nil {
-				winner = &res
-			} else {
-				lastErr = res.err
-				o.foldRace(&res, false)
-			}
+			accept(res)
 		case <-timer.C:
 			hedgeDecided = true
 			if pol.Budget.TryAcquire() {
@@ -318,6 +403,7 @@ func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte
 			o.foldRace(&res, false)
 		}
 		o.foldRace(winner, true)
+		o.repairBad(key, bad, winner.data)
 		return winner.data, nil
 	}
 
@@ -327,20 +413,11 @@ func (o *ObjectStore) getHedged(ctx context.Context, key string, copies [][]byte
 	if hedgeLaunched {
 		rest = order[2:]
 	}
-	for _, r := range rest {
-		o.fallbacks.Add(1)
-		var m readMeter
-		data, err := o.readLoop(ctx, key, r, copies[r], copyOut, true, true, &m)
-		o.foldMain(&m)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			break
-		}
+	data, err := o.seqRead(ctx, key, copies, rest, copyOut, true, bad)
+	if data == nil && err == nil {
+		err = lastErr // no replicas left to walk: surface the race's error
 	}
-	return nil, lastErr
+	return data, err
 }
 
 // raceResult is one hedged-race participant's outcome.
@@ -348,6 +425,7 @@ type raceResult struct {
 	data  []byte
 	err   error
 	m     readMeter
+	r     int // replica index that served (or failed) the read
 	hedge bool
 }
 
@@ -418,6 +496,14 @@ func (o *ObjectStore) readReplica(ctx context.Context, key string, r int, data [
 	m.ops++
 	start := time.Now()
 	delay := o.BaseLatency
+	if delay > 0 && o.RepairContention > 0 {
+		// Repair I/O shares the device queue: every in-flight repair op
+		// stretches this read's service time. This is what an
+		// unthrottled re-replication storm does to foreground p99.
+		if load := o.repairLoad.Load(); load > 0 {
+			delay += time.Duration(float64(o.BaseLatency) * o.RepairContention * float64(load))
+		}
+	}
 	if o.Faults != nil {
 		delay += o.Faults.Slowdown(faults.DegradedDevice, o.replicaKey(r)+"/"+key, o.BaseLatency)
 	}
@@ -432,6 +518,14 @@ func (o *ObjectStore) readReplica(ctx context.Context, key string, r int, data [
 			pol.Health.Observe(o.replicaKey(r), time.Since(start))
 		}
 		return nil, err
+	}
+	if data == nil {
+		// The replica slot is empty: its device died and took the blob
+		// with it. Feed the loss into the health tracker and breaker so
+		// steering avoids the dead replica and the repair controller can
+		// declare it dead; only re-replication brings the data back.
+		o.noteLost(key, r)
+		return nil, &ReplicaLostError{Key: key, Replica: r}
 	}
 	if o.Faults != nil {
 		if o.Faults.Fire(faults.ObjectMissing, key) {
@@ -450,6 +544,13 @@ func (o *ObjectStore) readReplica(ctx context.Context, key string, r int, data [
 			m.bytes += sim.Bytes(len(cp))
 			o.observeRead(r, start)
 			return cp, nil
+		}
+		if o.Faults.Fire(faults.StickyCorrupt, o.replicaKey(r)+"/"+key) {
+			// Persistent damage: the stored replica blob itself is
+			// flipped, so every later read of this replica — foreground
+			// or scrub — sees the same corruption until a repair
+			// write-back overwrites it.
+			data = o.damageReplica(key, r, data)
 		}
 	}
 	m.bytes += sim.Bytes(len(data))
@@ -580,7 +681,12 @@ func (o *ObjectStore) Size(key string) sim.Bytes {
 	if !ok {
 		return -1
 	}
-	return sim.Bytes(len(copies[0]))
+	for _, d := range copies {
+		if d != nil {
+			return sim.Bytes(len(d))
+		}
+	}
+	return -1 // every replica lost
 }
 
 // Delete removes the object (all replicas) under key; deleting a missing
@@ -588,6 +694,7 @@ func (o *ObjectStore) Size(key string) sim.Bytes {
 func (o *ObjectStore) Delete(key string) {
 	o.mu.Lock()
 	delete(o.objects, key)
+	o.clearStickyLocked(key)
 	o.mu.Unlock()
 	o.Meter.AddOps(1)
 }

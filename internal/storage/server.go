@@ -159,6 +159,16 @@ type ScanStats struct {
 	SpeculativeMorsels int64
 	SpeculativeWins    int64
 	SpeculativeBytes   sim.Bytes
+
+	// Self-healing accounting (stores with verification enabled):
+	// payloads discarded because a replica served corrupt bytes, repair
+	// write-backs triggered by this scan's reads, and the bytes those
+	// repairs wrote. Repair traffic is metered apart from the main
+	// Meter — the query is charged only for the clean payloads it
+	// consumed.
+	CorruptReads int64
+	ReadRepairs  int64
+	RepairBytes  sim.Bytes
 }
 
 // scanPipe replays one scan's internal three-stage pipeline onto a
@@ -281,6 +291,9 @@ func (s *Server) foldScanMetrics(st *ScanStats) {
 	m.Counter("scan.speculative.morsels").Add(st.SpeculativeMorsels)
 	m.Counter("scan.speculative.wins").Add(st.SpeculativeWins)
 	m.Counter("scan.speculative.bytes").Add(int64(st.SpeculativeBytes))
+	m.Counter("scan.corrupt.reads").Add(st.CorruptReads)
+	m.Counter("scan.read.repairs").Add(st.ReadRepairs)
+	m.Counter("scan.repair.bytes").Add(int64(st.RepairBytes))
 	m.RateMeter("scan.shipped.bytes.rate").Mark(int64(st.ShippedBytes))
 }
 
@@ -384,11 +397,16 @@ func (s *Server) Scan(ctx context.Context, table string, spec ScanSpec, emit fun
 		ctx = context.Background()
 	}
 	recBefore := s.store.Recovery()
+	repBefore := s.store.Repairs()
 	defer func() {
 		rec := s.store.Recovery().Sub(recBefore)
 		stats.Retries += rec.Retries
 		stats.ReplicaFallbacks += rec.ReplicaFallbacks
 		stats.RetryBytes += rec.RetryBytes
+		rep := s.store.Repairs().Sub(repBefore)
+		stats.CorruptReads += rep.CorruptReads
+		stats.ReadRepairs += rep.WriteBacks
+		stats.RepairBytes += rep.WriteBackBytes
 		s.foldScanMetrics(&stats)
 	}()
 	t, err := s.Table(table)
